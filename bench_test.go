@@ -1,0 +1,193 @@
+// Benchmarks that regenerate every quantitative artifact of the paper:
+// Table 1 (strong scaling), Table 2 (weak scaling), Figure 7 (ViT accuracy
+// under parallelisation), the §1/§3.1 transmission-count claim, the
+// Eq. 7-10 memory comparison, and the depth ablation — plus wall-clock
+// micro-benchmarks of the kernels and collectives underneath.
+//
+// The table benches report the simulated forward/backward seconds of the
+// headline configuration as custom metrics (sim-fwd-s, sim-bwd-s), so
+// `go test -bench .` doubles as the experiment runner.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/tables"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+	"repro/internal/vit"
+)
+
+// BenchmarkTable1StrongScaling regenerates all twelve Table 1 rows.
+func BenchmarkTable1StrongScaling(b *testing.B) {
+	var last []tables.TableResult
+	for i := 0; i < b.N; i++ {
+		res, err := tables.RunTable(tables.Table1Rows(), tables.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report444(b, last)
+}
+
+// BenchmarkTable2WeakScaling regenerates all thirteen Table 2 rows.
+func BenchmarkTable2WeakScaling(b *testing.B) {
+	var last []tables.TableResult
+	for i := 0; i < b.N; i++ {
+		res, err := tables.RunTable(tables.Table2Rows(), tables.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report444(b, last)
+}
+
+func report444(b *testing.B, results []tables.TableResult) {
+	b.Helper()
+	for _, r := range results {
+		if r.Row.Scheme == tables.Tesseract && r.Row.Q == 4 && r.Row.D == 4 {
+			b.ReportMetric(r.Measured.Forward, "sim-fwd-s")
+			b.ReportMetric(r.Measured.Backward, "sim-bwd-s")
+		}
+	}
+}
+
+// BenchmarkFigure7ViT trains the three Figure 7 settings for one epoch each
+// on the synthetic ImageNet stand-in and reports the final loss.
+func BenchmarkFigure7ViT(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	b.ResetTimer()
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		serial := vit.TrainSerial(ds, mcfg, tc)
+		for _, shape := range []struct{ q, d int }{{2, 1}, {2, 2}} {
+			h, err := vit.TrainTesseract(shape.q, shape.d, ds, mcfg, tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := h.Loss[0] - serial.Loss[0]
+			if d > 1e-6 || d < -1e-6 {
+				b.Fatalf("Figure 7 violated: %s loss %g vs serial %g", h.Setting, h.Loss[0], serial.Loss[0])
+			}
+		}
+		loss = serial.Loss[0]
+	}
+	b.ReportMetric(loss, "final-loss")
+}
+
+// BenchmarkClaimTransmissions regenerates the §1 transmission-count claim.
+func BenchmarkClaimTransmissions(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := tables.TransmissionStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = points[0].RatioToTesseract
+	}
+	b.ReportMetric(ratio, "cannon-vs-tesseract")
+}
+
+// BenchmarkClaimMemory regenerates the Eq. 7-10 memory comparison.
+func BenchmarkClaimMemory(b *testing.B) {
+	var pts []tables.MemoryPoint
+	for i := 0; i < b.N; i++ {
+		pts = tables.MemoryStudy(4096, 4096, 4096)
+	}
+	b.ReportMetric(pts[0].FormulaElems, "tess-221-elems")
+}
+
+// BenchmarkAblationDepth sweeps the Tesseract depth at q = 4.
+func BenchmarkAblationDepth(b *testing.B) {
+	var points []tables.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = tables.DepthAblation(4, []int{1, 2, 4}, tables.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[len(points)-1].Forward, "d4-fwd-s")
+}
+
+// --- kernel and runtime micro-benchmarks (wall clock) -----------------------
+
+func BenchmarkGEMM64(b *testing.B)  { benchGEMM(b, 64) }
+func BenchmarkGEMM128(b *testing.B) { benchGEMM(b, 128) }
+func BenchmarkGEMM256(b *testing.B) { benchGEMM(b, 256) }
+
+func benchGEMM(b *testing.B, n int) {
+	rng := tensor.NewRNG(1)
+	x := tensor.RandomMatrix(n, n, rng)
+	y := tensor.RandomMatrix(n, n, rng)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := tensor.RandomMatrix(256, 256, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.SoftmaxRows(x)
+	}
+}
+
+func BenchmarkAllReduce8(b *testing.B) {
+	c := dist.New(dist.Config{WorldSize: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(w *dist.Worker) error {
+			m := tensor.New(64, 64)
+			m.Fill(float64(w.Rank()))
+			w.Cluster().WorldGroup().AllReduce(w, m)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTesseractMatMulReal(b *testing.B) {
+	// Real-data Algorithm 3 on a [2,2,2] mesh, 64×48 by 48×32.
+	rng := tensor.NewRNG(3)
+	ga := tensor.RandomMatrix(64, 48, rng)
+	gb := tensor.RandomMatrix(48, 32, rng)
+	c := dist.New(dist.Config{WorldSize: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(w *dist.Worker) error {
+			p := tesseract.NewProc(w, 2, 2)
+			p.MatMulAB(p.DistributeA(ga), p.DistributeB(gb))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTesseractBlockPhantom64(b *testing.B) {
+	// One paper-scale [4,4,4] Transformer layer forward+backward in
+	// phantom mode — the unit of work behind every Table 1/2 cell.
+	row := tables.Row{Scheme: tables.Tesseract, GPUs: 64, Q: 4, D: 4, Batch: 16, Hidden: 3072, Heads: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tables.RunRow(row, tables.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command comm-model explores the paper's analytic models: §3.1 transfer
+// counts with their crossovers, the Eq. 1/2/4/5 bandwidth and latency lower
+// bounds, the Eq. 7-10 memory footprints, and the §3.1 isoefficiency
+// functions — all as closed-form sweeps, useful for sizing a mesh before
+// running the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/claims"
+)
+
+func main() {
+	var (
+		maxP = flag.Int("max-p", 512, "largest processor count in the sweeps")
+		n    = flag.Float64("n", 4096, "square matrix dimension for bound/memory sweeps")
+	)
+	flag.Parse()
+
+	fmt.Println("Transfer counts per matmul (§3.1; Tesseract at d = q)")
+	fmt.Printf("%6s %14s %14s %14s %10s %10s\n", "p", "Cannon", "2.5-D", "Tesseract", "Can/Tess", "2.5D/Tess")
+	for p := 8; p <= *maxP; p *= 2 {
+		f := float64(p)
+		c, s := claims.TransferRatios(f)
+		fmt.Printf("%6d %14.1f %14.1f %14.1f %10.2f %10.2f\n",
+			p, claims.CannonTransfers(f), claims.Solomonik25DTransfers(f), claims.TesseractTransfers(f), c, s)
+	}
+	fmt.Println()
+
+	fmt.Println("Crossovers (paper: Tesseract wins vs Cannon for p > 2, vs 2.5-D for p > 4)")
+	for p := 2; p <= 6; p++ {
+		fmt.Printf("  p=%d: beats Cannon: %v, beats 2.5-D: %v\n", p, claims.CrossoverVsCannon(p), claims.CrossoverVs25D(p))
+	}
+	fmt.Println()
+
+	fmt.Printf("Lower bounds for an n×n multiply, n = %.0f (Eqs. 1, 2, 4, 5)\n", *n)
+	fmt.Printf("%6s %6s %16s %14s\n", "p", "d", "W = n²/√(dp)", "S = √p/d^{3/2}")
+	for _, cfg := range []struct{ p, d float64 }{{64, 1}, {64, 2}, {64, 4}, {256, 1}, {256, 4}, {256, 6.35}} {
+		fmt.Printf("%6.0f %6.2f %16.0f %14.3f\n", cfg.p, cfg.d,
+			claims.Solomonik25DBandwidthLowerBound(*n, cfg.p, cfg.d),
+			claims.Solomonik25DLatencyLowerBound(cfg.p, cfg.d))
+	}
+	fmt.Println()
+
+	fmt.Printf("Per-GPU memory for one [n,n]×[n,n] multiply, n = %.0f (Eqs. 7-10, elements)\n", *n)
+	fmt.Printf("%18s %14s %14s %8s\n", "arrangement", "Tesseract", "Megatron-LM", "ratio")
+	for _, cfg := range []struct{ q, d float64 }{{2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 8}} {
+		p := cfg.d * cfg.q * cfg.q
+		mt := claims.MemoryTesseract(*n, *n, *n, cfg.q, cfg.d)
+		mm := claims.MemoryMegatron(*n, *n, *n, p)
+		fmt.Printf("  [%g,%g,%g] (p=%3.0f) %14.0f %14.0f %8.1fx\n", cfg.q, cfg.q, cfg.d, p, mt, mm, mm/mt)
+	}
+	fmt.Println()
+
+	fmt.Println("Isoefficiency functions (§3.1; lower grows slower = scales better)")
+	fmt.Printf("%6s %18s %22s\n", "p", "Megatron W~p³", "Optimus W~(√p·log p)³")
+	for p := 16; p <= *maxP; p *= 4 {
+		fmt.Printf("%6d %18.3g %22.3g\n", p, claims.IsoefficiencyMegatron(float64(p)), claims.IsoefficiencyOptimus(float64(p)))
+	}
+}

@@ -1,0 +1,83 @@
+// Command tesseract-bench regenerates the paper's quantitative artifacts on
+// the simulated cluster: Table 1 (strong scaling), Table 2 (weak scaling),
+// the §4 speedup claims, the §1/§3.1 transmission-count comparison, the
+// Eq. 7-10 memory study, and this repository's depth ablation.
+//
+// Usage:
+//
+//	tesseract-bench                  # everything
+//	tesseract-bench -table 1         # one table
+//	tesseract-bench -claims -memory  # selected studies
+//	tesseract-bench -seqlen 1024     # different sequence length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table      = flag.String("table", "", "which table to run: 1, 2, or empty for both")
+		claimsOnly = flag.Bool("claims", false, "run the transmission-count study")
+		memory     = flag.Bool("memory", false, "run the Eq. 7-10 memory study")
+		ablation   = flag.Bool("ablation", false, "run the depth ablation")
+		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
+		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
+		layers     = flag.Int("layers", 1, "Transformer layers per model")
+		noRecomp   = flag.Bool("no-recompute", false, "disable activation recomputation in the backward pass")
+	)
+	flag.Parse()
+
+	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
+	all := !*claimsOnly && !*memory && !*ablation && !*speedups && *table == ""
+
+	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
+		res, err := tables.RunTable(rows, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.Format(title, res))
+		if all || *speedups {
+			fmt.Println(tables.FormatSpeedups(label, derive(res)))
+		}
+		_ = num
+	}
+
+	if all || *table == "1" {
+		runTable("1", tables.Table1Rows(),
+			"Table 1 — strong scaling (batch 12/16, hidden 3072, 64 heads; simulated seconds)",
+			tables.StrongScalingSpeedups, "Derived §4.1 strong-scaling speedups (Tesseract [4,4,4] vs baselines)")
+	}
+	if all || *table == "2" {
+		runTable("2", tables.Table2Rows(),
+			"Table 2 — weak scaling (per-GPU problem fixed; simulated seconds)",
+			tables.WeakScalingSpeedups, "Derived §4.2 weak-scaling speedups (Tesseract [4,4,4] vs baselines)")
+	}
+	if all || *claimsOnly {
+		points, err := tables.TransmissionStudy()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatTransmissions(points))
+	}
+	if all || *memory {
+		const a, b, c = 4096, 4096, 4096
+		fmt.Println(tables.FormatMemory(a, b, c, tables.MemoryStudy(a, b, c)))
+	}
+	if all || *ablation {
+		points, err := tables.DepthAblation(4, []int{1, 2, 4}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatAblation(points))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesseract-bench:", err)
+	os.Exit(1)
+}

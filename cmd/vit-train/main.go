@@ -1,0 +1,70 @@
+// Command vit-train regenerates Figure 7: Vision Transformer training
+// accuracy under (1) a single GPU, (2) Tesseract [2,2,1], (3) Tesseract
+// [2,2,2]. The paper's point — the three curves coincide because Tesseract
+// introduces no approximation — is reproduced on a synthetic 100-class
+// image dataset (see internal/vit for the substitution rationale).
+//
+// Output is CSV: setting,epoch,loss,train_acc,test_acc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vit"
+)
+
+func main() {
+	var (
+		epochs  = flag.Int("epochs", 5, "training epochs")
+		classes = flag.Int("classes", 100, "number of classes (ImageNet-100 scale: 100)")
+		train   = flag.Int("train-per-class", 12, "training samples per class")
+		test    = flag.Int("test-per-class", 4, "test samples per class")
+		batch   = flag.Int("batch", 8, "batch size (must divide by 4 for the [2,2,2] mesh)")
+		hidden  = flag.Int("hidden", 64, "ViT hidden size")
+		heads   = flag.Int("heads", 4, "attention heads")
+		layers  = flag.Int("layers", 2, "Transformer layers")
+		lr      = flag.Float64("lr", 0.003, "Adam learning rate (paper: 0.003)")
+		wd      = flag.Float64("weight-decay", 0.05, "weight decay (paper: 0.3; lower fits the small synthetic task)")
+		seed    = flag.Uint64("seed", 2022, "random seed (fixed seeds, as in §4.3)")
+	)
+	flag.Parse()
+
+	dcfg := vit.DataConfig{
+		Classes: *classes, ImageSize: 16, Channels: 3, PatchSize: 4,
+		Train: *train, Test: *test, Seed: *seed,
+	}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(),
+		SeqLen:   dcfg.Patches(),
+		Hidden:   *hidden,
+		Heads:    *heads,
+		Layers:   *layers,
+		Classes:  *classes,
+		Seed:     *seed + 1,
+	}
+	tc := vit.TrainConfig{Epochs: *epochs, BatchSize: *batch, LR: *lr, WeightDecay: *wd, Seed: *seed + 2}
+
+	fmt.Fprintf(os.Stderr, "vit-train: %d classes, %d train / %d test samples, seq %d, patch dim %d\n",
+		*classes, len(ds.Train), len(ds.Test), mcfg.SeqLen, mcfg.PatchDim)
+
+	fmt.Println("setting,epoch,loss,train_acc,test_acc")
+	emit := func(h vit.History) {
+		for e := range h.Loss {
+			fmt.Printf("%s,%d,%.6f,%.4f,%.4f\n", h.Setting, e+1, h.Loss[e], h.TrainAcc[e], h.TestAcc[e])
+		}
+	}
+
+	emit(vit.TrainSerial(ds, mcfg, tc))
+	for _, shape := range []struct{ q, d int }{{2, 1}, {2, 2}} {
+		hist, err := vit.TrainTesseract(shape.q, shape.d, ds, mcfg, tc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vit-train:", err)
+			os.Exit(1)
+		}
+		emit(hist)
+	}
+	fmt.Fprintln(os.Stderr, "vit-train: done — Figure 7's claim holds iff the three curves coincide")
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Tesseract:
+// Parallelize the Tensor Parallelism Efficiently" (Wang, Xu, Bian, You —
+// ICPP 2022): 2.5-D tensor parallelism for Transformer models on a
+// [q, q, d] processor mesh, together with every substrate the paper's
+// evaluation depends on.
+//
+// The implementation lives under internal/:
+//
+//   - internal/tensor     — dense float64 linear algebra (+ phantom mode)
+//   - internal/dist       — simulated multi-GPU cluster with an α–β cost model
+//   - internal/mesh       — [q, q, d] grid and communicator bookkeeping
+//   - internal/summa      — 2-D SUMMA kernels (AB, ABᵀ, AᵀB) shared by all schemes
+//   - internal/cannon     — Cannon's algorithm (baseline, §2.1)
+//   - internal/solomonik  — 2.5-D matrix multiplication (baseline, §2.3)
+//   - internal/tesseract  — the paper's contribution: Tesseract matmul + layers
+//   - internal/megatron   — 1-D Megatron-LM baseline (§2.5)
+//   - internal/optimus    — 2-D Optimus baseline (§2.2)
+//   - internal/nn         — serial reference layers, losses, optimisers
+//   - internal/vit        — the Figure 7 Vision Transformer experiment
+//   - internal/claims     — the paper's closed-form formulas (Eqs. 1-10, §3.1)
+//   - internal/tables     — harness regenerating Tables 1-2 and the studies
+//
+// The benchmarks in bench_test.go regenerate every table and figure; the
+// binaries under cmd/ print them; the programs under examples/ show the API.
+// See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,64 @@
+// Scaling example: a compact strong/weak-scaling sweep using the same
+// harness that regenerates the paper's Tables 1 and 2, here at a reduced
+// sequence length so it runs instantly. Shows how to time arbitrary mesh
+// shapes and how the depth parameter d trades broadcast volume against
+// depth synchronisation (§3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	opts := tables.Options{SeqLen: 128}
+
+	fmt.Println("Strong scaling: fixed problem (batch 16, hidden 3072, 64 heads)")
+	fmt.Printf("%-12s %-9s %6s | %9s %9s %12s\n", "scheme", "shape", "#GPUs", "fwd(s)", "bwd(s)", "1/(fwd+bwd)")
+	rows := []tables.Row{
+		{Scheme: tables.Megatron, GPUs: 16, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Megatron, GPUs: 64, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Optimus, GPUs: 16, Q: 4, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Optimus, GPUs: 64, Q: 8, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Tesseract, GPUs: 16, Q: 4, D: 1, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Tesseract, GPUs: 32, Q: 4, D: 2, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Tesseract, GPUs: 64, Q: 4, D: 4, Batch: 16, Hidden: 3072, Heads: 64},
+		{Scheme: tables.Tesseract, GPUs: 64, Q: 8, D: 1, Batch: 16, Hidden: 3072, Heads: 64},
+	}
+	for _, row := range rows {
+		res, err := tables.RunRow(row, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-9s %6d | %9.4f %9.4f %12.2f\n",
+			row.Scheme, row.Shape(), row.GPUs, res.Forward, res.Backward, res.Throughput)
+	}
+
+	fmt.Println("\nDepth sweep at q = 4 (same problem): deeper meshes shrink the per-layer")
+	fmt.Println("broadcast panels by d at the price of a rare depth all-reduce")
+	points, err := tables.DepthAblation(4, []int{1, 2, 4}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tables.FormatAblation(points))
+
+	fmt.Println("\nWeak scaling: problem grows with the mesh (batch = 12·d·q, hidden = 512·q)")
+	fmt.Printf("%-9s %6s %6s %6s | %9s %9s\n", "shape", "#GPUs", "batch", "hidden", "fwd(s)", "bwd(s)")
+	for _, shape := range []struct{ q, d int }{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}} {
+		row := tables.Row{
+			Scheme: tables.Tesseract, GPUs: shape.q * shape.q * shape.d,
+			Q: shape.q, D: shape.d,
+			Batch:  12 * shape.d * shape.q,
+			Hidden: 512 * shape.q,
+			Heads:  16 * shape.q,
+		}
+		res, err := tables.RunRow(row, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %6d %6d %6d | %9.4f %9.4f\n",
+			row.Shape(), row.GPUs, row.Batch, row.Hidden, res.Forward, res.Backward)
+	}
+}

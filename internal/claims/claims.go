@@ -1,0 +1,106 @@
+// Package claims encodes the closed-form quantitative statements of the
+// paper's Sections 1-3 — transmission counts, per-GPU memory (Eqs. 7-10),
+// communication volumes and the isoefficiency/lower-bound expressions
+// (Eqs. 1, 2, 4, 5) — so the experiment harness and the tests can check the
+// implementations against exactly the numbers the paper prints (31.5×,
+// 3.75×, crossovers at q > 2 and q > 4, and so on).
+package claims
+
+import "math"
+
+// CannonTransfers is the paper's §3.1 count of inter-GPU block transfers for
+// one Cannon multiplication on p processors: 2p^{3/2} − 2p^{1/2}.
+func CannonTransfers(p float64) float64 {
+	return 2*math.Pow(p, 1.5) - 2*math.Sqrt(p)
+}
+
+// Solomonik25DTransfers is the §3.1 count for the 2.5-D algorithm:
+// 2p − 2p^{1/3}.
+func Solomonik25DTransfers(p float64) float64 {
+	return 2*p - 2*math.Cbrt(p)
+}
+
+// TesseractTransfers is the §3.1 count for Tesseract at d = q: 2p^{2/3}.
+func TesseractTransfers(p float64) float64 {
+	c := math.Cbrt(p)
+	return 2 * c * c
+}
+
+// TransferRatios returns (Cannon/Tesseract, 2.5D/Tesseract) at p processors.
+// At p = 64 the paper reports 31.5 and 3.75.
+func TransferRatios(p float64) (cannon, solomonik float64) {
+	t := TesseractTransfers(p)
+	return CannonTransfers(p) / t, Solomonik25DTransfers(p) / t
+}
+
+// CrossoverVsCannon reports whether Tesseract (d = q) needs fewer transfers
+// than Cannon's algorithm at p GPUs. §3.1 states the crossover as "q > 2",
+// where the surrounding sentence ("it usually requires more than four GPUs")
+// shows the symbol denotes the GPU count: 2p^{2/3} < 2p^{3/2} − 2p^{1/2}
+// holds exactly for p > 2.
+func CrossoverVsCannon(p int) bool {
+	f := float64(p)
+	return TesseractTransfers(f) < CannonTransfers(f)
+}
+
+// CrossoverVs25D reports whether Tesseract beats the 2.5-D algorithm at p
+// GPUs; 2p^{2/3} < 2p − 2p^{1/3} holds exactly for p > 4, the paper's
+// "q > 4".
+func CrossoverVs25D(p int) bool {
+	f := float64(p)
+	return TesseractTransfers(f) < Solomonik25DTransfers(f)
+}
+
+// MemoryTesseract is Eq. 8: per-GPU elements for one [a,b]·[b,c] matmul on
+// p = d·q² processors: ab/p + bcd/p + ac/p.
+func MemoryTesseract(a, b, c, q, d float64) float64 {
+	p := d * q * q
+	return a*b/p + b*c*d/p + a*c/p
+}
+
+// MemoryMegatron is Eq. 10: a fully replicated input plus 1/p of the
+// parameters and output: ab + bc/p + ac/p.
+func MemoryMegatron(a, b, c, p float64) float64 {
+	return a*b + b*c/p + a*c/p
+}
+
+// MegatronCommVolume is §3.1's per-layer Megatron communication time model,
+// 2β(p−1)·b·s·h/p, returned in scalar units (multiply by β and the per-pass
+// all-reduce count externally).
+func MegatronCommVolume(p, batch, seq, hidden float64) float64 {
+	return 2 * (p - 1) * batch * seq * hidden / p
+}
+
+// OptimusCommVolume is §3.1's Optimus model, 2·b·s·h·2q·log(p)/p.
+func OptimusCommVolume(p, q, batch, seq, hidden float64) float64 {
+	return 2 * batch * seq * hidden * 2 * q * math.Log2(p) / p
+}
+
+// CannonBandwidthLowerBound is Eq. 1: W = Ω(n²/√p) for an n×n multiply.
+func CannonBandwidthLowerBound(n, p float64) float64 {
+	return n * n / math.Sqrt(p)
+}
+
+// CannonLatencyLowerBound is Eq. 2: S = Ω(√p).
+func CannonLatencyLowerBound(p float64) float64 {
+	return math.Sqrt(p)
+}
+
+// Solomonik25DBandwidthLowerBound is Eq. 4: W = Ω(n²/√(dp)).
+func Solomonik25DBandwidthLowerBound(n, p, d float64) float64 {
+	return n * n / math.Sqrt(d*p)
+}
+
+// Solomonik25DLatencyLowerBound is Eq. 5: S = Ω(p^{1/2}/d^{3/2}).
+func Solomonik25DLatencyLowerBound(p, d float64) float64 {
+	return math.Sqrt(p) / math.Pow(d, 1.5)
+}
+
+// IsoefficiencyMegatron is §3.1: W ~ p³.
+func IsoefficiencyMegatron(p float64) float64 { return p * p * p }
+
+// IsoefficiencyOptimus is §3.1: W ~ (√p · log p)³.
+func IsoefficiencyOptimus(p float64) float64 {
+	v := math.Sqrt(p) * math.Log2(p)
+	return v * v * v
+}

@@ -1,0 +1,137 @@
+package claims
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g", name, got, want)
+	}
+}
+
+func TestTransferCountsAt64(t *testing.T) {
+	// §1: "with a total amount of 64 processors, the communication needed
+	// for Cannon's Algorithm is 31.5 times the communication needed for
+	// Tesseract, and the communication needed for the 2.5D algorithm is
+	// 3.75 times".
+	approx(t, "Cannon(64)", CannonTransfers(64), 1008, 1e-9)
+	approx(t, "2.5D(64)", Solomonik25DTransfers(64), 120, 1e-9)
+	approx(t, "Tesseract(64)", TesseractTransfers(64), 32, 1e-9)
+	c, s := TransferRatios(64)
+	approx(t, "Cannon ratio", c, 31.5, 1e-9)
+	approx(t, "2.5D ratio", s, 3.75, 1e-9)
+}
+
+func TestCrossovers(t *testing.T) {
+	// §3.1: "Tesseract requires less transmission with q > 2 compared to
+	// Cannon's Algorithm, q > 4 compared to the 2.5D algorithm" — where the
+	// symbol counts GPUs (the same paragraph concludes "it usually requires
+	// more than four GPUs").
+	if CrossoverVsCannon(2) {
+		t.Fatal("p=2 should not beat Cannon")
+	}
+	for p := 3; p <= 128; p++ {
+		if !CrossoverVsCannon(p) {
+			t.Fatalf("p=%d should beat Cannon", p)
+		}
+	}
+	for p := 2; p <= 4; p++ {
+		if CrossoverVs25D(p) {
+			t.Fatalf("p=%d should not beat 2.5D", p)
+		}
+	}
+	for p := 5; p <= 128; p++ {
+		if !CrossoverVs25D(p) {
+			t.Fatalf("p=%d should beat 2.5D", p)
+		}
+	}
+}
+
+func TestMemoryComparison(t *testing.T) {
+	// Eq. 7-10 discussion: Megatron needs p times more memory for the
+	// input matrix; Tesseract's extra B replication (factor d) is small
+	// because p = d·q².
+	a, b, c := 4096.0, 4096.0, 4096.0
+	for _, cfg := range []struct{ q, d float64 }{{2, 1}, {4, 2}, {4, 4}, {8, 1}} {
+		p := cfg.d * cfg.q * cfg.q
+		mt := MemoryTesseract(a, b, c, cfg.q, cfg.d)
+		mm := MemoryMegatron(a, b, c, p)
+		if mt >= mm {
+			t.Fatalf("q=%g d=%g: Tesseract memory %g should beat Megatron %g", cfg.q, cfg.d, mt, mm)
+		}
+		// The A-matrix term alone differs by exactly p.
+		if math.Abs((a*b)/(a*b/p)-p) > 1e-9 {
+			t.Fatal("A-term ratio must be p")
+		}
+	}
+}
+
+func TestMemoryFormulaValues(t *testing.T) {
+	// Hand check Eq. 8 at q=2, d=2 (p=8), a=b=c=8:
+	// ab/p + bcd/p + ac/p = 8 + 16 + 8 = 32.
+	approx(t, "MemoryTesseract", MemoryTesseract(8, 8, 8, 2, 2), 32, 1e-12)
+	// Eq. 10 at p=8: 64 + 8 + 8 = 80.
+	approx(t, "MemoryMegatron", MemoryMegatron(8, 8, 8, 8), 80, 1e-12)
+}
+
+func TestLowerBoundSpecialCases(t *testing.T) {
+	// §2.3: d = 1 degenerates to Cannon's bound; d = p^{1/3} gives
+	// W = Ω(n²/p^{2/3}) and S = Ω(1).
+	n, p := 1024.0, 64.0
+	approx(t, "d=1 bandwidth", Solomonik25DBandwidthLowerBound(n, p, 1), CannonBandwidthLowerBound(n, p), 1e-9)
+	d := math.Cbrt(p)
+	approx(t, "3D bandwidth", Solomonik25DBandwidthLowerBound(n, p, d), n*n/math.Pow(p, 2.0/3), 1e-6)
+	approx(t, "3D latency", Solomonik25DLatencyLowerBound(p, d), 1, 1e-9)
+}
+
+func TestLatencyFallsWithDepth(t *testing.T) {
+	// §3.1: "with the same amount of processors, greater d could lead to
+	// less communication and lower latency."
+	p := 64.0
+	prevW, prevS := math.Inf(1), math.Inf(1)
+	for _, d := range []float64{1, 2, 4} {
+		w := Solomonik25DBandwidthLowerBound(4096, p, d)
+		s := Solomonik25DLatencyLowerBound(p, d)
+		if w >= prevW || s >= prevS {
+			t.Fatalf("bounds must fall with depth: d=%g w=%g s=%g", d, w, s)
+		}
+		prevW, prevS = w, s
+	}
+}
+
+func TestIsoefficiencyOrdering(t *testing.T) {
+	// Megatron's isoefficiency W ~ p³ grows faster than Optimus'
+	// (√p·log p)³ for large p, i.e. Megatron scales worse.
+	for _, p := range []float64{64, 256, 1024} {
+		if IsoefficiencyMegatron(p) <= IsoefficiencyOptimus(p) {
+			t.Fatalf("p=%g: Megatron isoefficiency should exceed Optimus", p)
+		}
+	}
+}
+
+func TestCommVolumeModels(t *testing.T) {
+	// Megatron's per-layer volume saturates at 2·b·s·h as p grows, while
+	// Optimus' (with q = √p) decays like log p/√p, so their ratio must
+	// shrink monotonically and eventually cross below 1 — the asymptotic
+	// scaling behind §3.1's isoefficiency comparison.
+	b, s, h := 12.0, 512.0, 3072.0
+	prev := math.Inf(1)
+	for _, p := range []float64{16, 64, 256, 1024, 4096} {
+		q := math.Sqrt(p)
+		ratio := OptimusCommVolume(p, q, b, s, h) / MegatronCommVolume(p, b, s, h)
+		if ratio >= prev {
+			t.Fatalf("Optimus/Megatron volume ratio must fall with p: p=%g ratio=%g prev=%g", p, ratio, prev)
+		}
+		prev = ratio
+	}
+	if prev >= 1 {
+		t.Fatalf("Optimus volume should undercut Megatron at p=4096, ratio=%g", prev)
+	}
+	// Megatron's volume saturates: doubling p barely changes it.
+	if MegatronCommVolume(4096, b, s, h)/MegatronCommVolume(2048, b, s, h) > 1.001 {
+		t.Fatal("Megatron volume should saturate with p")
+	}
+}

@@ -1,0 +1,111 @@
+// Package compute bridges tensor arithmetic and the simulated cluster: every
+// operation both performs the computation (when operands are real) and
+// charges its flop count to the calling worker's simulated clock (always,
+// including in phantom mode). Distributed algorithms use these wrappers
+// instead of calling the tensor package directly so that timing and
+// arithmetic can never drift apart.
+package compute
+
+import (
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// Per-element flop estimates for non-GEMM kernels. They are small next to
+// the matrix multiplies but keep the simulated clock honest.
+const (
+	FlopsPerAdd     = 1
+	FlopsPerGELU    = 12 // tanh-approximation polynomial
+	FlopsPerSoftmax = 6  // exp + max + normalise, amortised per element
+	FlopsPerNorm    = 8  // layer-norm normalise step per element
+)
+
+// MatMul returns a·b and charges 2mnk flops.
+func MatMul(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Cols), float64(a.Cols))
+	return tensor.MatMul(a, b)
+}
+
+// MatMulInto computes c += a·b and charges 2mnk flops.
+func MatMulInto(w *dist.Worker, c, a, b *tensor.Matrix) {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Cols), float64(a.Cols))
+	tensor.MatMulInto(c, a, b)
+}
+
+// MatMulNT returns a·bᵀ and charges 2mnk flops.
+func MatMulNT(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Rows), float64(a.Cols))
+	return tensor.MatMulNT(a, b)
+}
+
+// MatMulTN returns aᵀ·b and charges 2mnk flops.
+func MatMulTN(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.ChargeGEMM(float64(a.Cols), float64(b.Cols), float64(a.Rows))
+	return tensor.MatMulTN(a, b)
+}
+
+// Add returns a+b, charging one flop per element.
+func Add(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	return tensor.Add(a, b)
+}
+
+// AddInPlace computes a += b, charging one flop per element.
+func AddInPlace(w *dist.Worker, a, b *tensor.Matrix) {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	tensor.AddInPlace(a, b)
+}
+
+// Sub returns a−b, charging one flop per element.
+func Sub(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	return tensor.Sub(a, b)
+}
+
+// Mul returns the Hadamard product, charging one flop per element.
+func Mul(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	return tensor.Mul(a, b)
+}
+
+// Scale returns alpha·m, charging one flop per element.
+func Scale(w *dist.Worker, alpha float64, m *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerAdd)
+	return tensor.Scale(alpha, m)
+}
+
+// AddRowVector returns m + 1·vᵀ (bias add), charging one flop per element.
+func AddRowVector(w *dist.Worker, m, v *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerAdd)
+	return tensor.AddRowVector(m, v)
+}
+
+// ColSums returns the column sums (bias gradient), one flop per element.
+func ColSums(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerAdd)
+	return tensor.ColSums(m)
+}
+
+// GELU applies the activation, charging FlopsPerGELU per element.
+func GELU(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerGELU)
+	return tensor.GELU(m)
+}
+
+// GELUGrad evaluates the activation derivative, same charge as GELU.
+func GELUGrad(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerGELU)
+	return tensor.GELUGrad(m)
+}
+
+// SoftmaxRows applies a row softmax, charging FlopsPerSoftmax per element.
+func SoftmaxRows(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(m.Size()) * FlopsPerSoftmax)
+	return tensor.SoftmaxRows(m)
+}
+
+// SoftmaxRowsBackward charges FlopsPerSoftmax per element.
+func SoftmaxRowsBackward(w *dist.Worker, s, ds *tensor.Matrix) *tensor.Matrix {
+	w.Compute(float64(s.Size()) * FlopsPerSoftmax)
+	return tensor.SoftmaxRowsBackward(s, ds)
+}

@@ -1,0 +1,206 @@
+// Package hybrid implements §3.4 of the paper (Figure 6): composing
+// Tesseract tensor parallelism with data parallelism and pipeline
+// parallelism. The cluster is carved into
+//
+//	dataParallel × pipelineStages × (d·q²)
+//
+// workers: each data-parallel replica owns a chain of pipeline stages, each
+// stage owns one [q, q, d] Tesseract mesh holding a contiguous slice of the
+// Transformer layers. Rank layout is replica-major, then stage-major, then
+// the mesh's own layer-major layout, matching Figure 6's colour blocks:
+//
+//	rank = replica·(stages·d·q²) + stage·(d·q²) + k·q² + i·q + j
+//
+// Data parallelism all-reduces parameter gradients across the replicas'
+// corresponding processors after each backward pass; pipeline parallelism
+// moves activations (and gradients, in reverse) point-to-point between the
+// same grid position of adjacent stages.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/mesh"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// Config describes the composition.
+type Config struct {
+	// DataParallel replicas (≥1).
+	DataParallel int
+	// PipelineStages (≥1); Layers must divide by it.
+	PipelineStages int
+	// Q, D: the Tesseract mesh inside each stage.
+	Q, D int
+	// Model dimensions.
+	Hidden, Heads, SeqLen, Layers int
+	// Seed for parameter initialisation (identical across replicas).
+	Seed uint64
+}
+
+// Validate checks the composition and returns the total worker count.
+func (c Config) Validate() (int, error) {
+	if c.DataParallel < 1 || c.PipelineStages < 1 {
+		return 0, fmt.Errorf("hybrid: need at least one replica and one stage")
+	}
+	if c.Layers%c.PipelineStages != 0 {
+		return 0, fmt.Errorf("hybrid: %d layers not divisible by %d stages", c.Layers, c.PipelineStages)
+	}
+	s := mesh.Shape{Q: c.Q, D: c.D}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	return c.DataParallel * c.PipelineStages * s.Size(), nil
+}
+
+// MeshSize returns d·q².
+func (c Config) MeshSize() int { return c.Q * c.Q * c.D }
+
+// Proc is one worker's view of the composed machine.
+type Proc struct {
+	Cfg     Config
+	Replica int
+	Stage   int
+	// Tess is the worker's Tesseract mesh view within its stage.
+	Tess *tesseract.Proc
+	// DP spans the DataParallel workers at the same (stage, i, j, k),
+	// ordered by replica — the group that keeps parameter replicas in
+	// sync (the "same colour" blocks of Figure 6).
+	DP *dist.Group
+
+	blocks []*tesseract.Block
+	x      *tensor.Matrix
+}
+
+// NewProc attaches a worker to the composed layout and builds its stage's
+// slice of the model (Layers/PipelineStages Transformer blocks). Parameters
+// are drawn from a per-layer seed, so every replica initialises identically
+// and stage boundaries do not perturb the streams.
+func NewProc(w *dist.Worker, cfg Config) (*Proc, error) {
+	world, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if w.Cluster().WorldSize() < world {
+		return nil, fmt.Errorf("hybrid: cluster has %d workers, composition needs %d", w.Cluster().WorldSize(), world)
+	}
+	meshSize := cfg.MeshSize()
+	perReplica := cfg.PipelineStages * meshSize
+	replica := w.Rank() / perReplica
+	stage := (w.Rank() % perReplica) / meshSize
+	base := replica*perReplica + stage*meshSize
+
+	p := &Proc{Cfg: cfg, Replica: replica, Stage: stage}
+	p.Tess = tesseract.NewProcAt(w, mesh.Shape{Q: cfg.Q, D: cfg.D, Base: base})
+
+	// Data-parallel group: same stage and same mesh coordinates across
+	// replicas, ordered by replica index.
+	dpRanks := make([]int, cfg.DataParallel)
+	offset := w.Rank() - replica*perReplica
+	for r := range dpRanks {
+		dpRanks[r] = r*perReplica + offset
+	}
+	p.DP = w.Cluster().Group(dpRanks...)
+
+	layersPerStage := cfg.Layers / cfg.PipelineStages
+	for l := 0; l < layersPerStage; l++ {
+		globalLayer := stage*layersPerStage + l
+		rng := tensor.NewRNG(cfg.Seed + uint64(globalLayer)*7919)
+		p.blocks = append(p.blocks, tesseract.NewBlock(p.Tess, cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
+	}
+	return p, nil
+}
+
+// Params returns the worker's parameter shards.
+func (p *Proc) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, b := range p.blocks {
+		out = append(out, b.Params()...)
+	}
+	return out
+}
+
+// peer returns the rank at the same mesh coordinates in an adjacent stage.
+func (p *Proc) peer(stage int) int {
+	meshSize := p.Cfg.MeshSize()
+	perReplica := p.Cfg.PipelineStages * meshSize
+	local := p.Tess.W.Rank() - (p.Replica*perReplica + p.Stage*meshSize)
+	return p.Replica*perReplica + stage*meshSize + local
+}
+
+// Forward runs this worker's stage over its replica's local input block.
+// Stage 0 consumes x (the replica's A-distributed input); later stages
+// receive their input from the previous stage's matching processor.
+// Only the last stage returns the output block; others return nil.
+func (p *Proc) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if p.Stage == 0 {
+		if x == nil {
+			panic("hybrid: stage 0 requires an input block")
+		}
+	} else {
+		x = p.Tess.W.Recv(p.peer(p.Stage - 1))
+	}
+	p.x = x
+	h := x
+	for _, b := range p.blocks {
+		h = b.Forward(p.Tess, h)
+	}
+	if p.Stage < p.Cfg.PipelineStages-1 {
+		p.Tess.W.Send(p.peer(p.Stage+1), h)
+		return nil
+	}
+	return h
+}
+
+// Backward runs the stage backward. The last stage consumes dy; earlier
+// stages receive the gradient from the next stage. Stage 0 returns the
+// input-gradient block; others return nil. Afterwards every parameter
+// gradient is all-reduced across the data-parallel replicas and averaged,
+// keeping the replicas synchronised.
+func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if p.Stage == p.Cfg.PipelineStages-1 {
+		if dy == nil {
+			panic("hybrid: last stage requires an output gradient")
+		}
+	} else {
+		dy = p.Tess.W.Recv(p.peer(p.Stage + 1))
+	}
+	for i := len(p.blocks) - 1; i >= 0; i-- {
+		dy = p.blocks[i].Backward(p.Tess, dy)
+	}
+	if p.Stage > 0 {
+		p.Tess.W.Send(p.peer(p.Stage-1), dy)
+		dy = nil
+	}
+	p.syncGradients()
+	return dy
+}
+
+// syncGradients averages parameter gradients across data-parallel replicas.
+func (p *Proc) syncGradients() {
+	if p.Cfg.DataParallel == 1 {
+		return
+	}
+	inv := 1 / float64(p.Cfg.DataParallel)
+	for _, pa := range p.Params() {
+		sum := p.DP.AllReduce(p.Tess.W, pa.Grad)
+		tensor.ScaleInPlace(sum, inv)
+		pa.Grad = sum
+	}
+}
+
+// ShardBatch splits a replicated global batch [b·s, cols] into the
+// replica's share (replica r takes the r-th sequence block) — the
+// data-parallel input split of Figure 6.
+func (p *Proc) ShardBatch(global *tensor.Matrix, seqLen int) *tensor.Matrix {
+	b := global.Rows / seqLen
+	if b%p.Cfg.DataParallel != 0 {
+		panic(fmt.Sprintf("hybrid: batch %d not divisible by %d replicas", b, p.Cfg.DataParallel))
+	}
+	per := b / p.Cfg.DataParallel
+	share := global.SubMatrix(p.Replica*per*seqLen, 0, per*seqLen, global.Cols)
+	return p.Tess.DistributeA(share)
+}

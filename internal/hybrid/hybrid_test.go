@@ -1,0 +1,224 @@
+package hybrid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+const (
+	h, heads, seqLen = 8, 2, 2
+)
+
+// serialStack builds the serial reference with the same per-layer seeds as
+// NewProc.
+func serialStack(layers int, seed uint64) []*nn.Block {
+	out := make([]*nn.Block, layers)
+	for l := range out {
+		rng := tensor.NewRNG(seed + uint64(l)*7919)
+		out[l] = nn.NewBlock(h, heads, seqLen, rng)
+	}
+	return out
+}
+
+func serialForward(blocks []*nn.Block, x *tensor.Matrix) *tensor.Matrix {
+	for _, b := range blocks {
+		x = b.Forward(x)
+	}
+	return x
+}
+
+func serialBackward(blocks []*nn.Block, dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(blocks) - 1; i >= 0; i-- {
+		dy = blocks[i].Backward(dy)
+	}
+	return dy
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := (Config{DataParallel: 2, PipelineStages: 2, Q: 2, D: 2, Layers: 4}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := (Config{DataParallel: 1, PipelineStages: 3, Q: 2, D: 1, Layers: 4}).Validate(); err == nil {
+		t.Fatal("layers % stages != 0 must be rejected")
+	}
+	if _, err := (Config{DataParallel: 0, PipelineStages: 1, Q: 2, D: 1, Layers: 2}).Validate(); err == nil {
+		t.Fatal("zero replicas must be rejected")
+	}
+	if n, _ := (Config{DataParallel: 2, PipelineStages: 2, Q: 2, D: 2, Layers: 4}).Validate(); n != 32 {
+		t.Fatalf("world size %d, want 32 (the Figure 6 example)", n)
+	}
+}
+
+func TestRankLayoutFigure6(t *testing.T) {
+	// Figure 6's example: dp=2, pp=2, q=2, d=2 → 32 GPUs.
+	cfg := Config{DataParallel: 2, PipelineStages: 2, Q: 2, D: 2, Hidden: h, Heads: heads, SeqLen: seqLen, Layers: 2, Seed: 1}
+	world, _ := cfg.Validate()
+	seen := testutil.NewScalars()
+	testutil.Run(t, world, func(w *dist.Worker) error {
+		p, err := NewProc(w, cfg)
+		if err != nil {
+			return err
+		}
+		// Encode (replica, stage) and verify the expected carving.
+		seen.Put(w.Rank(), float64(p.Replica*10+p.Stage))
+		wantReplica := w.Rank() / 16
+		wantStage := (w.Rank() % 16) / 8
+		if p.Replica != wantReplica || p.Stage != wantStage {
+			t.Errorf("rank %d: got (r=%d,s=%d), want (r=%d,s=%d)", w.Rank(), p.Replica, p.Stage, wantReplica, wantStage)
+		}
+		if p.DP.Size() != 2 {
+			t.Errorf("rank %d: DP group size %d", w.Rank(), p.DP.Size())
+		}
+		return nil
+	})
+}
+
+func TestTensorPipelineMatchesSerial(t *testing.T) {
+	// dp=1, pp=2, [2,1] mesh: activations flow through the pipeline and the
+	// result equals the serial 4-layer stack.
+	cfg := Config{DataParallel: 1, PipelineStages: 2, Q: 2, D: 1, Hidden: h, Heads: heads, SeqLen: seqLen, Layers: 4, Seed: 9}
+	world, _ := cfg.Validate()
+	rng := tensor.NewRNG(4)
+	x := tensor.RandomMatrix(8, h, rng)
+	dy := tensor.RandomMatrix(8, h, rng)
+
+	ref := serialStack(cfg.Layers, cfg.Seed)
+	wantY := serialForward(ref, x)
+	wantDx := serialBackward(ref, dy)
+
+	ys := testutil.NewCollector()
+	dxs := testutil.NewCollector()
+	testutil.Run(t, world, func(w *dist.Worker) error {
+		p, err := NewProc(w, cfg)
+		if err != nil {
+			return err
+		}
+		var in *tensor.Matrix
+		if p.Stage == 0 {
+			in = p.Tess.DistributeA(x)
+		}
+		out := p.Forward(in)
+		if p.Stage == cfg.PipelineStages-1 {
+			ys.Put(w.Rank(), p.Tess.CollectA(out))
+		}
+		var dout *tensor.Matrix
+		if p.Stage == cfg.PipelineStages-1 {
+			dout = p.Tess.DistributeA(dy)
+		}
+		dx := p.Backward(dout)
+		if p.Stage == 0 {
+			dxs.Put(w.Rank(), p.Tess.CollectA(dx))
+		}
+		return nil
+	})
+	// Last-stage processors hold y; stage-0 processors hold dx.
+	testutil.CheckClose(t, "pipeline y", ys.Get(4), wantY, 1e-8)
+	testutil.CheckClose(t, "pipeline dx", dxs.Get(0), wantDx, 1e-8)
+}
+
+func TestDataParallelGradientAveraging(t *testing.T) {
+	// dp=2, pp=1: the two replicas process different batch halves; after
+	// Backward their gradients must equal the serial gradient of the FULL
+	// batch (scaled by the loss-averaging convention) and match each other
+	// exactly.
+	cfg := Config{DataParallel: 2, PipelineStages: 1, Q: 2, D: 1, Hidden: h, Heads: heads, SeqLen: seqLen, Layers: 2, Seed: 3}
+	world, _ := cfg.Validate()
+	rng := tensor.NewRNG(8)
+	x := tensor.RandomMatrix(16, h, rng) // 8 sequences; 4 per replica
+	target := tensor.RandomMatrix(16, h, rng)
+
+	// Serial reference over the full batch: MSE averages over elements, so
+	// per-replica MSE gradients averaged across replicas equal the full
+	// gradient.
+	ref := serialStack(cfg.Layers, cfg.Seed)
+	y := serialForward(ref, x)
+	_, dy := nn.MSE(y, target)
+	for _, b := range ref {
+		for _, pa := range b.Params() {
+			pa.ZeroGrad()
+		}
+	}
+	serialBackward(ref, dy)
+	wantGrad := ref[0].Mlp.Fc1.W.Grad
+
+	grads := testutil.NewCollector()
+	testutil.Run(t, world, func(w *dist.Worker) error {
+		p, err := NewProc(w, cfg)
+		if err != nil {
+			return err
+		}
+		local := p.ShardBatch(x, seqLen)
+		out := p.Forward(local)
+		full := p.Tess.CollectA(out)
+		// Per-replica loss over the replica's half of the targets.
+		per := target.Rows / cfg.DataParallel
+		tgt := target.SubMatrix(p.Replica*per, 0, per, target.Cols)
+		_, dloc := nn.MSE(full, tgt)
+		for _, pa := range p.Params() {
+			pa.ZeroGrad()
+		}
+		p.Backward(p.Tess.DistributeA(dloc))
+		grads.Put(w.Rank(), p.Tess.CollectB(p.blocks[0].Mlp.Fc1.W.Grad))
+		return nil
+	})
+	for r := 0; r < world; r++ {
+		testutil.CheckClose(t, fmt.Sprintf("rank %d grad", r), grads.Get(r), wantGrad, 1e-8)
+	}
+}
+
+func TestFullCompositionTrainsInSync(t *testing.T) {
+	// The Figure 6 composition end to end: dp=2, pp=2, q=2, d=1 (16
+	// workers), two optimiser steps; replicas must remain identical.
+	cfg := Config{DataParallel: 2, PipelineStages: 2, Q: 2, D: 1, Hidden: h, Heads: heads, SeqLen: seqLen, Layers: 2, Seed: 6}
+	world, _ := cfg.Validate()
+	rng := tensor.NewRNG(12)
+	x := tensor.RandomMatrix(16, h, rng)
+	target := tensor.RandomMatrix(16, h, rng)
+
+	weights := testutil.NewCollector()
+	testutil.Run(t, world, func(w *dist.Worker) error {
+		p, err := NewProc(w, cfg)
+		if err != nil {
+			return err
+		}
+		opt := nn.NewAdam(1e-2, 0)
+		for step := 0; step < 2; step++ {
+			var in *tensor.Matrix
+			if p.Stage == 0 {
+				in = p.ShardBatch(x, seqLen)
+			}
+			out := p.Forward(in)
+			var dout *tensor.Matrix
+			if p.Stage == cfg.PipelineStages-1 {
+				full := p.Tess.CollectA(out)
+				per := target.Rows / cfg.DataParallel
+				tgt := target.SubMatrix(p.Replica*per, 0, per, target.Cols)
+				_, dloc := nn.MSE(full, tgt)
+				dout = p.Tess.DistributeA(dloc)
+			}
+			for _, pa := range p.Params() {
+				pa.ZeroGrad()
+			}
+			p.Backward(dout)
+			opt.Step(p.Params())
+		}
+		weights.Put(w.Rank(), p.blocks[0].Mlp.Fc1.W.Value.Clone())
+		return nil
+	})
+	// Corresponding processors of the two replicas must hold identical
+	// weights after training (replica 1's ranks are offset by 8).
+	for r := 0; r < 8; r++ {
+		a, b := weights.Get(r), weights.Get(r+8)
+		if a == nil || b == nil {
+			t.Fatalf("missing weights for rank pair %d/%d", r, r+8)
+		}
+		if a.MaxAbsDiff(b) != 0 {
+			t.Fatalf("replicas diverged at rank pair %d/%d: %g", r, r+8, a.MaxAbsDiff(b))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package megatron
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Attention is the Megatron-parallel self-attention module: a fused,
+// head-aligned column-parallel QKV projection (heads split across the p
+// processors), purely local per-head attention, and a row-parallel output
+// projection whose forward all-reduce restores the replicated activation.
+type Attention struct {
+	H, Heads, SeqLen int
+
+	QKV  *ColLinear // h -> 3h, head-aligned permutation
+	Proj *RowLinear // h -> h
+
+	q, k, v *tensor.Matrix
+	probs   []*tensor.Matrix
+}
+
+// NewAttention draws Wq, Wk, Wv, Wo from rng in the serial order and packs
+// the first three into the fused column-permuted QKV weight: rank r holds
+// [Wq_r | Wk_r | Wv_r].
+func NewAttention(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Attention {
+	validate(p, h, heads)
+	wq := tensor.XavierMatrix(h, h, rng)
+	wk := tensor.XavierMatrix(h, h, rng)
+	wv := tensor.XavierMatrix(h, h, rng)
+	wo := tensor.XavierMatrix(h, h, rng)
+
+	bc := h / p.P
+	cols := make([]*tensor.Matrix, 0, 3*p.P)
+	for r := 0; r < p.P; r++ {
+		cols = append(cols,
+			wq.SubMatrix(0, r*bc, h, bc),
+			wk.SubMatrix(0, r*bc, h, bc),
+			wv.SubMatrix(0, r*bc, h, bc))
+	}
+	fused := tensor.HCat(cols...)
+
+	a := &Attention{H: h, Heads: heads, SeqLen: seqLen}
+	a.QKV = newColFromGlobal(p, fused, nn.ActNone, true)
+	a.Proj = newRowFromGlobal(p, wo, true)
+	return a
+}
+
+// NewAttentionPhantom builds the shape-only variant.
+func NewAttentionPhantom(p *Proc, h, heads, seqLen int) *Attention {
+	validate(p, h, heads)
+	a := &Attention{H: h, Heads: heads, SeqLen: seqLen}
+	a.QKV = NewColLinearPhantom(p, h, 3*h, nn.ActNone, true)
+	a.Proj = NewRowLinearPhantom(p, h, h, true)
+	return a
+}
+
+func validate(p *Proc, h, heads int) {
+	if h%heads != 0 {
+		panic(fmt.Sprintf("megatron: hidden %d not divisible by heads %d", h, heads))
+	}
+	if heads%p.P != 0 {
+		panic(fmt.Sprintf("megatron: heads %d not divisible by p=%d", heads, p.P))
+	}
+}
+
+// Params returns the local shards.
+func (a *Attention) Params() []*nn.Param {
+	return append(a.QKV.Params(), a.Proj.Params()...)
+}
+
+// Forward runs attention over the replicated input x of shape [b·s, h].
+func (a *Attention) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	qkv := a.QKV.Forward(p, x)
+	hp := a.H / p.P
+	a.q = qkv.SubMatrix(0, 0, qkv.Rows, hp)
+	a.k = qkv.SubMatrix(0, hp, qkv.Rows, hp)
+	a.v = qkv.SubMatrix(0, 2*hp, qkv.Rows, hp)
+	out := a.attendForward(p, a.q, a.k, a.v)
+	return a.Proj.Forward(p, out)
+}
+
+func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matrix {
+	headsLocal := a.Heads / p.P
+	dh := a.H / a.Heads
+	s := a.SeqLen
+	if q.Phantom() {
+		seqF := float64(q.Rows) / float64(s)
+		perHead := 4*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
+		p.W.Compute(seqF * float64(headsLocal) * perHead)
+		return tensor.NewPhantom(q.Rows, q.Cols)
+	}
+	if q.Rows%s != 0 {
+		panic(fmt.Sprintf("megatron: attention rows %d not divisible by seq len %d", q.Rows, s))
+	}
+	nseq := q.Rows / s
+	scale := 1 / math.Sqrt(float64(dh))
+	out := tensor.New(q.Rows, q.Cols)
+	a.probs = make([]*tensor.Matrix, 0, nseq*headsLocal)
+	for sq := 0; sq < nseq; sq++ {
+		for hd := 0; hd < headsLocal; hd++ {
+			qs := q.SubMatrix(sq*s, hd*dh, s, dh)
+			ks := k.SubMatrix(sq*s, hd*dh, s, dh)
+			vs := v.SubMatrix(sq*s, hd*dh, s, dh)
+			scores := tensor.Scale(scale, compute.MatMulNT(p.W, qs, ks))
+			probs := compute.SoftmaxRows(p.W, scores)
+			a.probs = append(a.probs, probs)
+			head := compute.MatMul(p.W, probs, vs)
+			out.SetSubMatrix(sq*s, hd*dh, head)
+		}
+	}
+	return out
+}
+
+// Backward propagates through the module.
+func (a *Attention) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	dout := a.Proj.Backward(p, dy)
+	dqkv := a.attendBackward(p, dout)
+	return a.QKV.Backward(p, dqkv)
+}
+
+func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix {
+	headsLocal := a.Heads / p.P
+	dh := a.H / a.Heads
+	s := a.SeqLen
+	hp := a.H / p.P
+	if dout.Phantom() {
+		seqF := float64(dout.Rows) / float64(s)
+		perHead := 8*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
+		p.W.Compute(seqF * float64(headsLocal) * perHead)
+		return tensor.NewPhantom(dout.Rows, 3*hp)
+	}
+	nseq := dout.Rows / s
+	scale := 1 / math.Sqrt(float64(dh))
+	dqkv := tensor.New(dout.Rows, 3*hp)
+	for sq := 0; sq < nseq; sq++ {
+		for hd := 0; hd < headsLocal; hd++ {
+			probs := a.probs[sq*headsLocal+hd]
+			dhead := dout.SubMatrix(sq*s, hd*dh, s, dh)
+			qs := a.q.SubMatrix(sq*s, hd*dh, s, dh)
+			ks := a.k.SubMatrix(sq*s, hd*dh, s, dh)
+			vs := a.v.SubMatrix(sq*s, hd*dh, s, dh)
+
+			dvs := compute.MatMulTN(p.W, probs, dhead)
+			dprobs := compute.MatMulNT(p.W, dhead, vs)
+			dscores := tensor.Scale(scale, compute.SoftmaxRowsBackward(p.W, probs, dprobs))
+			dqs := compute.MatMul(p.W, dscores, ks)
+			dks := compute.MatMulTN(p.W, dscores, qs)
+
+			dqkv.SetSubMatrix(sq*s, hd*dh, dqs)
+			dqkv.SetSubMatrix(sq*s, hp+hd*dh, dks)
+			dqkv.SetSubMatrix(sq*s, 2*hp+hd*dh, dvs)
+		}
+	}
+	return dqkv
+}
+
+// MLP is the Megatron feed-forward module: column-parallel h→4h with GELU,
+// row-parallel 4h→h with the forward all-reduce.
+type MLP struct {
+	H   int
+	Fc1 *ColLinear
+	Fc2 *RowLinear
+}
+
+// NewMLP draws Fc1, Fc2 from rng in the serial order.
+func NewMLP(p *Proc, h int, rng *tensor.RNG) *MLP {
+	return &MLP{
+		H:   h,
+		Fc1: NewColLinear(p, h, 4*h, nn.ActGELU, true, rng),
+		Fc2: NewRowLinear(p, 4*h, h, true, rng),
+	}
+}
+
+// NewMLPPhantom builds the shape-only variant.
+func NewMLPPhantom(p *Proc, h int) *MLP {
+	return &MLP{
+		H:   h,
+		Fc1: NewColLinearPhantom(p, h, 4*h, nn.ActGELU, true),
+		Fc2: NewRowLinearPhantom(p, 4*h, h, true),
+	}
+}
+
+// Params returns the local shards.
+func (m *MLP) Params() []*nn.Param {
+	return append(m.Fc1.Params(), m.Fc2.Params()...)
+}
+
+// Forward applies both projections.
+func (m *MLP) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	return m.Fc2.Forward(p, m.Fc1.Forward(p, x))
+}
+
+// Backward propagates through both projections.
+func (m *MLP) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	return m.Fc1.Backward(p, m.Fc2.Backward(p, dy))
+}
+
+// LayerNorm is computed redundantly on the replicated activation (Megatron
+// keeps layer norms un-sharded); it reuses the serial implementation and
+// charges the flops to the simulated clock.
+type LayerNorm struct {
+	inner *nn.LayerNorm
+}
+
+// NewLayerNorm builds the replicated layer norm.
+func NewLayerNorm(h int) *LayerNorm { return &LayerNorm{inner: nn.NewLayerNorm(h)} }
+
+// Forward normalises the replicated activation.
+func (l *LayerNorm) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	p.W.Compute(float64(x.Size()) * (compute.FlopsPerNorm + 2))
+	return l.inner.Forward(x)
+}
+
+// Backward applies Eq. 14 on the replicated gradient.
+func (l *LayerNorm) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	p.W.Compute(float64(dy.Size()) * (compute.FlopsPerNorm + 2))
+	return l.inner.Backward(dy)
+}
+
+// Block is one Megatron-parallel Transformer layer with the paper's
+// residual-plus-layer-norm structure. Per layer it performs exactly two
+// forward all-reduces and two backward all-reduces of the [b·s, h]
+// activation — the communication volume 2β(p−1)·b·s·h/p per direction that
+// §3.1 attributes to Megatron-LM.
+type Block struct {
+	H int
+
+	Attn *Attention
+	Ln1  *LayerNorm
+	Mlp  *MLP
+	Ln2  *LayerNorm
+}
+
+// NewBlock draws parameters from rng in the serial order.
+func NewBlock(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Block {
+	return &Block{
+		H:    h,
+		Attn: NewAttention(p, h, heads, seqLen, rng),
+		Ln1:  NewLayerNorm(h),
+		Mlp:  NewMLP(p, h, rng),
+		Ln2:  NewLayerNorm(h),
+	}
+}
+
+// NewBlockPhantom builds the shape-only variant.
+func NewBlockPhantom(p *Proc, h, heads, seqLen int) *Block {
+	return &Block{
+		H:    h,
+		Attn: NewAttentionPhantom(p, h, heads, seqLen),
+		Ln1:  NewLayerNorm(h),
+		Mlp:  NewMLPPhantom(p, h),
+		Ln2:  NewLayerNorm(h),
+	}
+}
+
+// Params returns the local shards.
+func (b *Block) Params() []*nn.Param {
+	return append(b.Attn.Params(), b.Mlp.Params()...)
+}
+
+// Forward computes the replicated block output.
+func (b *Block) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	y := b.Ln1.Forward(p, compute.Add(p.W, x, b.Attn.Forward(p, x)))
+	return b.Ln2.Forward(p, compute.Add(p.W, y, b.Mlp.Forward(p, y)))
+}
+
+// Backward propagates through the block.
+func (b *Block) Backward(p *Proc, dz *tensor.Matrix) *tensor.Matrix {
+	dr2 := b.Ln2.Backward(p, dz)
+	dy := compute.Add(p.W, dr2, b.Mlp.Backward(p, dr2))
+	dr1 := b.Ln1.Backward(p, dy)
+	return compute.Add(p.W, dr1, b.Attn.Backward(p, dr1))
+}

@@ -1,0 +1,195 @@
+// Package megatron implements the 1-D tensor parallelism of Megatron-LM
+// (Shoeybi et al., §2.5 and Figure 2 of the paper), the paper's first
+// baseline. Parameter matrices are split along one dimension across all p
+// processors of the tensor-parallel group; activations are fully replicated
+// on every processor — which is exactly the memory cost Eq. 9 charges it
+// with. Each Transformer sub-module pairs a column-parallel linear with a
+// row-parallel linear so that one all-reduce per module (two per layer)
+// restores the replicated activation.
+package megatron
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Proc is one processor's view of a Megatron tensor-parallel group.
+type Proc struct {
+	W *dist.Worker
+	// P is the tensor-parallel size.
+	P int
+	// Rank is the index within the group, equal to the position of the
+	// worker in the group's rank list.
+	Rank int
+	// TP is the tensor-parallel communicator.
+	TP *dist.Group
+}
+
+// NewProc attaches the calling worker to the tensor-parallel group spanning
+// cluster ranks [0, p).
+func NewProc(w *dist.Worker, p int) *Proc {
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g := w.Cluster().Group(ranks...)
+	idx := g.Index(w.Rank())
+	if idx < 0 {
+		panic(fmt.Sprintf("megatron: rank %d outside tensor-parallel group of %d", w.Rank(), p))
+	}
+	return &Proc{W: w, P: p, Rank: idx, TP: g}
+}
+
+// ColLinear is a column-parallel linear layer: W is split [In, Out/p], the
+// replicated input multiplies the local shard with no communication, and the
+// backward pass all-reduces the input gradient (Figure 2, left path).
+type ColLinear struct {
+	In, Out int
+	Act     nn.Activation
+	W       *nn.Param // [In, Out/p]
+	B       *nn.Param // [1, Out/p]
+
+	x   *tensor.Matrix
+	pre *tensor.Matrix
+}
+
+// NewColLinear draws the full Xavier weight from rng (same stream as
+// nn.NewLinear) and keeps the local column block.
+func NewColLinear(p *Proc, in, out int, act nn.Activation, bias bool, rng *tensor.RNG) *ColLinear {
+	full := tensor.XavierMatrix(in, out, rng)
+	return newColFromGlobal(p, full, act, bias)
+}
+
+func newColFromGlobal(p *Proc, full *tensor.Matrix, act nn.Activation, bias bool) *ColLinear {
+	in, out := full.Rows, full.Cols
+	if out%p.P != 0 {
+		panic(fmt.Sprintf("megatron: output %d not divisible by p=%d", out, p.P))
+	}
+	bc := out / p.P
+	l := &ColLinear{In: in, Out: out, Act: act}
+	l.W = nn.NewParam("megatron.col.w", full.SubMatrix(0, p.Rank*bc, in, bc))
+	if bias {
+		l.B = nn.NewParam("megatron.col.b", zerosMaybePhantom(1, bc, full.Phantom()))
+	}
+	return l
+}
+
+// NewColLinearPhantom builds the shape-only variant.
+func NewColLinearPhantom(p *Proc, in, out int, act nn.Activation, bias bool) *ColLinear {
+	return newColFromGlobal(p, tensor.NewPhantom(in, out), act, bias)
+}
+
+// Params returns the local shards.
+func (l *ColLinear) Params() []*nn.Param {
+	if l.B == nil {
+		return []*nn.Param{l.W}
+	}
+	return []*nn.Param{l.W, l.B}
+}
+
+// Forward multiplies the replicated input by the local column shard.
+func (l *ColLinear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	y := compute.MatMul(p.W, x, l.W.Value)
+	if l.B != nil {
+		y = compute.AddRowVector(p.W, y, l.B.Value)
+	}
+	l.pre = y
+	if l.Act == nn.ActGELU {
+		return compute.GELU(p.W, y)
+	}
+	return y
+}
+
+// Backward accumulates shard gradients and all-reduces the input gradient so
+// it is replicated again.
+func (l *ColLinear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	if l.Act == nn.ActGELU {
+		dy = compute.Mul(p.W, dy, compute.GELUGrad(p.W, l.pre))
+	}
+	l.W.AccumGrad(compute.MatMulTN(p.W, l.x, dy))
+	if l.B != nil {
+		l.B.AccumGrad(compute.ColSums(p.W, dy))
+	}
+	partial := compute.MatMulNT(p.W, dy, l.W.Value)
+	return p.TP.AllReduce(p.W, partial)
+}
+
+// RowLinear is a row-parallel linear layer: W is split [In/p, Out], the
+// partial products are all-reduced in the forward pass (Figure 2, right
+// path), and the backward pass needs no communication because the output
+// gradient is replicated.
+type RowLinear struct {
+	In, Out int
+	W       *nn.Param // [In/p, Out]
+	B       *nn.Param // [1, Out], replicated (identical update on all ranks)
+
+	x *tensor.Matrix
+}
+
+// NewRowLinear draws the full Xavier weight from rng and keeps the local row
+// block.
+func NewRowLinear(p *Proc, in, out int, bias bool, rng *tensor.RNG) *RowLinear {
+	full := tensor.XavierMatrix(in, out, rng)
+	return newRowFromGlobal(p, full, bias)
+}
+
+func newRowFromGlobal(p *Proc, full *tensor.Matrix, bias bool) *RowLinear {
+	in, out := full.Rows, full.Cols
+	if in%p.P != 0 {
+		panic(fmt.Sprintf("megatron: input %d not divisible by p=%d", in, p.P))
+	}
+	br := in / p.P
+	l := &RowLinear{In: in, Out: out}
+	l.W = nn.NewParam("megatron.row.w", full.SubMatrix(p.Rank*br, 0, br, out))
+	if bias {
+		l.B = nn.NewParam("megatron.row.b", zerosMaybePhantom(1, out, full.Phantom()))
+	}
+	return l
+}
+
+// NewRowLinearPhantom builds the shape-only variant.
+func NewRowLinearPhantom(p *Proc, in, out int, bias bool) *RowLinear {
+	return newRowFromGlobal(p, tensor.NewPhantom(in, out), bias)
+}
+
+// Params returns the local shards.
+func (l *RowLinear) Params() []*nn.Param {
+	if l.B == nil {
+		return []*nn.Param{l.W}
+	}
+	return []*nn.Param{l.W, l.B}
+}
+
+// Forward multiplies the sharded input by the local row shard and
+// all-reduces the partial outputs.
+func (l *RowLinear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	partial := compute.MatMul(p.W, x, l.W.Value)
+	y := p.TP.AllReduce(p.W, partial)
+	if l.B != nil {
+		y = compute.AddRowVector(p.W, y, l.B.Value)
+	}
+	return y
+}
+
+// Backward accumulates shard gradients and returns the sharded input
+// gradient without communication.
+func (l *RowLinear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	l.W.AccumGrad(compute.MatMulTN(p.W, l.x, dy))
+	if l.B != nil {
+		l.B.AccumGrad(compute.ColSums(p.W, dy))
+	}
+	return compute.MatMulNT(p.W, dy, l.W.Value)
+}
+
+func zerosMaybePhantom(rows, cols int, phantom bool) *tensor.Matrix {
+	if phantom {
+		return tensor.NewPhantom(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}

@@ -1,0 +1,244 @@
+package megatron
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func runTP(t *testing.T, p int, fn func(mp *Proc) error) *dist.Cluster {
+	t.Helper()
+	return testutil.Run(t, p, func(w *dist.Worker) error {
+		return fn(NewProc(w, p))
+	})
+}
+
+func TestColLinearMatchesSerial(t *testing.T) {
+	const in, out, rows = 8, 12, 5
+	for _, tp := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", tp), func(t *testing.T) {
+			dataRng := tensor.NewRNG(1)
+			x := tensor.RandomMatrix(rows, in, dataRng)
+			dy := tensor.RandomMatrix(rows, out, dataRng)
+
+			ref := nn.NewLinear(in, out, nn.ActGELU, true, tensor.NewRNG(9))
+			wantY := ref.Forward(x)
+			wantDx := ref.Backward(dy)
+
+			ys := testutil.NewCollector()
+			dxs := testutil.NewCollector()
+			gws := testutil.NewCollector()
+			runTP(t, tp, func(mp *Proc) error {
+				l := NewColLinear(mp, in, out, nn.ActGELU, true, tensor.NewRNG(9))
+				bc := out / tp
+				y := l.Forward(mp, x)
+				dyLocal := dy.SubMatrix(0, mp.Rank*bc, rows, bc)
+				dx := l.Backward(mp, dyLocal)
+				// Reassemble the column-sharded output.
+				parts := mp.TP.AllGather(mp.W, y)
+				ys.Put(mp.W.Rank(), tensor.HCat(parts...))
+				dxs.Put(mp.W.Rank(), dx)
+				gparts := mp.TP.AllGather(mp.W, l.W.Grad)
+				gws.Put(mp.W.Rank(), tensor.HCat(gparts...))
+				return nil
+			})
+			testutil.CheckClose(t, "y", ys.Get(0), wantY, 1e-9)
+			testutil.CheckClose(t, "dx", dxs.Get(0), wantDx, 1e-9)
+			testutil.CheckClose(t, "dW", gws.Get(0), ref.W.Grad, 1e-9)
+		})
+	}
+}
+
+func TestRowLinearMatchesSerial(t *testing.T) {
+	const in, out, rows = 12, 8, 5
+	for _, tp := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", tp), func(t *testing.T) {
+			dataRng := tensor.NewRNG(2)
+			x := tensor.RandomMatrix(rows, in, dataRng)
+			dy := tensor.RandomMatrix(rows, out, dataRng)
+
+			ref := nn.NewLinear(in, out, nn.ActNone, true, tensor.NewRNG(11))
+			wantY := ref.Forward(x)
+			wantDx := ref.Backward(dy)
+
+			ys := testutil.NewCollector()
+			dxs := testutil.NewCollector()
+			runTP(t, tp, func(mp *Proc) error {
+				l := NewRowLinear(mp, in, out, true, tensor.NewRNG(11))
+				br := in / tp
+				xLocal := x.SubMatrix(0, mp.Rank*br, rows, br)
+				y := l.Forward(mp, xLocal)
+				dx := l.Backward(mp, dy)
+				ys.Put(mp.W.Rank(), y)
+				parts := mp.TP.AllGather(mp.W, dx)
+				dxs.Put(mp.W.Rank(), tensor.HCat(parts...))
+				return nil
+			})
+			testutil.CheckClose(t, "y", ys.Get(0), wantY, 1e-9)
+			testutil.CheckClose(t, "dx", dxs.Get(0), wantDx, 1e-9)
+		})
+	}
+}
+
+func TestMLPMatchesSerial(t *testing.T) {
+	const h, rows = 8, 6
+	for _, tp := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", tp), func(t *testing.T) {
+			dataRng := tensor.NewRNG(3)
+			x := tensor.RandomMatrix(rows, h, dataRng)
+			dy := tensor.RandomMatrix(rows, h, dataRng)
+
+			ref := nn.NewMLP(h, tensor.NewRNG(13))
+			wantY := ref.Forward(x)
+			wantDx := ref.Backward(dy)
+
+			ys := testutil.NewCollector()
+			dxs := testutil.NewCollector()
+			runTP(t, tp, func(mp *Proc) error {
+				m := NewMLP(mp, h, tensor.NewRNG(13))
+				y := m.Forward(mp, x)
+				dx := m.Backward(mp, dy)
+				ys.Put(mp.W.Rank(), y)
+				dxs.Put(mp.W.Rank(), dx)
+				return nil
+			})
+			for r := 0; r < tp; r++ {
+				testutil.CheckClose(t, "y", ys.Get(r), wantY, 1e-9)
+				testutil.CheckClose(t, "dx", dxs.Get(r), wantDx, 1e-9)
+			}
+		})
+	}
+}
+
+func TestAttentionMatchesSerial(t *testing.T) {
+	const h, heads, seqLen, rows = 8, 4, 3, 6
+	for _, tp := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", tp), func(t *testing.T) {
+			dataRng := tensor.NewRNG(4)
+			x := tensor.RandomMatrix(rows, h, dataRng)
+			dy := tensor.RandomMatrix(rows, h, dataRng)
+
+			ref := nn.NewMultiHeadAttention(h, heads, seqLen, tensor.NewRNG(17))
+			wantY := ref.Forward(x)
+			wantDx := ref.Backward(dy)
+
+			ys := testutil.NewCollector()
+			dxs := testutil.NewCollector()
+			runTP(t, tp, func(mp *Proc) error {
+				a := NewAttention(mp, h, heads, seqLen, tensor.NewRNG(17))
+				y := a.Forward(mp, x)
+				dx := a.Backward(mp, dy)
+				ys.Put(mp.W.Rank(), y)
+				dxs.Put(mp.W.Rank(), dx)
+				return nil
+			})
+			for r := 0; r < tp; r++ {
+				testutil.CheckClose(t, "y", ys.Get(r), wantY, 1e-9)
+				testutil.CheckClose(t, "dx", dxs.Get(r), wantDx, 1e-9)
+			}
+		})
+	}
+}
+
+func TestBlockMatchesSerial(t *testing.T) {
+	const h, heads, seqLen, rows = 8, 4, 2, 8
+	for _, tp := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", tp), func(t *testing.T) {
+			dataRng := tensor.NewRNG(5)
+			x := tensor.RandomMatrix(rows, h, dataRng)
+			dy := tensor.RandomMatrix(rows, h, dataRng)
+
+			ref := nn.NewBlock(h, heads, seqLen, tensor.NewRNG(19))
+			wantY := ref.Forward(x)
+			wantDx := ref.Backward(dy)
+
+			ys := testutil.NewCollector()
+			dxs := testutil.NewCollector()
+			runTP(t, tp, func(mp *Proc) error {
+				b := NewBlock(mp, h, heads, seqLen, tensor.NewRNG(19))
+				y := b.Forward(mp, x)
+				dx := b.Backward(mp, dy)
+				ys.Put(mp.W.Rank(), y)
+				dxs.Put(mp.W.Rank(), dx)
+				return nil
+			})
+			for r := 0; r < tp; r++ {
+				testutil.CheckClose(t, "y", ys.Get(r), wantY, 1e-8)
+				testutil.CheckClose(t, "dx", dxs.Get(r), wantDx, 1e-8)
+			}
+		})
+	}
+}
+
+func TestBlockAllReduceCount(t *testing.T) {
+	// §3.1 charges Megatron-LM with all-reduces of the replicated
+	// activation: exactly 2 in the forward pass and 2 in the backward pass
+	// per Transformer layer.
+	const h, heads, seqLen, rows, tp = 8, 4, 2, 8, 4
+	c := dist.New(dist.Config{WorldSize: tp})
+	if err := c.Run(func(w *dist.Worker) error {
+		mp := NewProc(w, tp)
+		b := NewBlockPhantom(mp, h, heads, seqLen)
+		x := tensor.NewPhantom(rows, h)
+		y := b.Forward(mp, x)
+		b.Backward(mp, y)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	calls := c.Stats().PerOp["allreduce"].Calls
+	if calls != 4 {
+		t.Fatalf("block fwd+bwd performed %d all-reduces, want 4", calls)
+	}
+}
+
+func TestPhantomMatchesRealClock(t *testing.T) {
+	const h, heads, seqLen, rows, tp = 8, 4, 2, 8, 4
+	clock := func(phantom bool) float64 {
+		c := dist.New(dist.Config{WorldSize: tp})
+		if err := c.Run(func(w *dist.Worker) error {
+			mp := NewProc(w, tp)
+			var b *Block
+			var x *tensor.Matrix
+			if phantom {
+				b = NewBlockPhantom(mp, h, heads, seqLen)
+				x = tensor.NewPhantom(rows, h)
+			} else {
+				b = NewBlock(mp, h, heads, seqLen, tensor.NewRNG(23))
+				x = tensor.RandomMatrix(rows, h, tensor.NewRNG(29))
+			}
+			y := b.Forward(mp, x)
+			b.Backward(mp, y)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxClock()
+	}
+	real, ph := clock(false), clock(true)
+	if real <= 0 {
+		t.Fatal("expected nonzero simulated time")
+	}
+	// The phantom path charges attention flops as one lump sum, so the
+	// clocks may differ in the last ulp from floating-point association.
+	if rel := (real - ph) / real; rel > 1e-12 || rel < -1e-12 {
+		t.Fatalf("phantom clock %g != real clock %g", ph, real)
+	}
+}
+
+func TestProcValidation(t *testing.T) {
+	c := dist.New(dist.Config{WorldSize: 2})
+	err := c.Run(func(w *dist.Worker) error {
+		defer func() { recover() }()
+		NewProc(w, 4) // group larger than the cluster
+		t.Errorf("rank %d: expected panic", w.Rank())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	s := Shape{Q: 3, D: 2}
+	seen := make(map[int]bool)
+	for k := 0; k < s.D; k++ {
+		for i := 0; i < s.Q; i++ {
+			for j := 0; j < s.Q; j++ {
+				r := s.Rank(i, j, k)
+				if seen[r] {
+					t.Fatalf("duplicate rank %d", r)
+				}
+				seen[r] = true
+				gi, gj, gk := s.Coords(r)
+				if gi != i || gj != j || gk != k {
+					t.Fatalf("coords(%d) = (%d,%d,%d), want (%d,%d,%d)", r, gi, gj, gk, i, j, k)
+				}
+			}
+		}
+	}
+	if len(seen) != s.Size() {
+		t.Fatalf("covered %d ranks, want %d", len(seen), s.Size())
+	}
+}
+
+func TestRankLayoutIsLayerMajor(t *testing.T) {
+	s := Shape{Q: 2, D: 2}
+	// Layer 0 occupies ranks 0..3, layer 1 ranks 4..7.
+	if s.Rank(0, 0, 0) != 0 || s.Rank(1, 1, 0) != 3 || s.Rank(0, 0, 1) != 4 {
+		t.Fatal("rank layout is not layer-major")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Shape{Q: 4, D: 2}).Validate(); err != nil {
+		t.Fatalf("valid shape rejected: %v", err)
+	}
+	if err := (Shape{Q: 2, D: 3}).Validate(); err == nil {
+		t.Fatal("d > q must be rejected (paper: 1 <= d <= q)")
+	}
+	if err := (Shape{Q: 0, D: 1}).Validate(); err == nil {
+		t.Fatal("q = 0 must be rejected")
+	}
+}
+
+func TestBaseOffset(t *testing.T) {
+	s := Shape{Q: 2, D: 1, Base: 10}
+	if s.Rank(0, 0, 0) != 10 || s.Rank(1, 1, 0) != 13 {
+		t.Fatal("base offset not applied")
+	}
+	i, j, k := s.Coords(13)
+	if i != 1 || j != 1 || k != 0 {
+		t.Fatal("coords with base offset wrong")
+	}
+}
+
+func TestProcGroups(t *testing.T) {
+	s := Shape{Q: 2, D: 2}
+	c := dist.New(dist.Config{WorldSize: s.Size()})
+	var mu sync.Mutex
+	procs := make(map[int]*Proc)
+	err := c.Run(func(w *dist.Worker) error {
+		p := NewProc(w, s)
+		mu.Lock()
+		procs[w.Rank()] = p
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Processor (1, 0, 1) has rank 4+2 = 6.
+	p := procs[6]
+	if p.I != 1 || p.J != 0 || p.K != 1 {
+		t.Fatalf("coords wrong: (%d,%d,%d)", p.I, p.J, p.K)
+	}
+	wantRow := []int{6, 7} // (1,0,1), (1,1,1)
+	wantCol := []int{4, 6} // (0,0,1), (1,0,1)
+	wantDepth := []int{2, 6}
+	wantLayer := []int{4, 5, 6, 7}
+	wantSlab := []int{0, 2, 4, 6} // (0,0,0),(1,0,0),(0,0,1),(1,0,1) ordered h = i+kq
+	checkRanks(t, "row", p.Row.Ranks(), wantRow)
+	checkRanks(t, "col", p.Col.Ranks(), wantCol)
+	checkRanks(t, "depth", p.Depth.Ranks(), wantDepth)
+	checkRanks(t, "layer", p.Layer.Ranks(), wantLayer)
+	checkRanks(t, "slab", p.Slab.Ranks(), wantSlab)
+	if p.All.Size() != 8 {
+		t.Fatalf("all group size %d", p.All.Size())
+	}
+	if p.BlockRow() != 1+1*2 {
+		t.Fatalf("BlockRow = %d", p.BlockRow())
+	}
+	if p.RowRank(1) != 7 || p.ColRank(0) != 4 || p.DepthRank(0) != 2 {
+		t.Fatal("rank helpers wrong")
+	}
+}
+
+func TestSlabOrderMatchesBlockRows(t *testing.T) {
+	s := Shape{Q: 2, D: 2}
+	c := dist.New(dist.Config{WorldSize: s.Size()})
+	err := c.Run(func(w *dist.Worker) error {
+		p := NewProc(w, s)
+		ranks := p.Slab.Ranks()
+		for idx, r := range ranks {
+			i, _, k := s.Coords(r)
+			if h := i + k*s.Q; h != idx {
+				t.Errorf("slab slot %d holds block row %d", idx, h)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkRanks(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: ranks %v, want %v", name, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: ranks %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestProcOutsideMeshPanics(t *testing.T) {
+	s := Shape{Q: 2, D: 1}
+	c := dist.New(dist.Config{WorldSize: 8})
+	err := c.Run(func(w *dist.Worker) error {
+		if w.Rank() >= s.Size() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rank %d: expected panic", w.Rank())
+				}
+			}()
+			NewProc(w, s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

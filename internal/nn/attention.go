@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MultiHeadAttention is the serial self-attention module of §2.4 / Eq. 6:
+// Q, K, V projections, per-head scaled dot-product attention, concatenation,
+// and an output projection. Input rows are a batch of sequences flattened to
+// [b·s, h]; SeqLen tells the layer where sequence boundaries lie.
+type MultiHeadAttention struct {
+	H, Heads, SeqLen int
+
+	Wq, Wk, Wv, Wo *Linear
+
+	// stashes for backward, per (sequence, head) in row-major order.
+	q, k, v *tensor.Matrix
+	probs   []*tensor.Matrix
+}
+
+// NewMultiHeadAttention draws the four projection weights from rng in the
+// fixed order Wq, Wk, Wv, Wo (the distributed implementations consume the
+// same stream in the same order).
+func NewMultiHeadAttention(h, heads, seqLen int, rng *tensor.RNG) *MultiHeadAttention {
+	if h%heads != 0 {
+		panic(fmt.Sprintf("nn: hidden %d not divisible by heads %d", h, heads))
+	}
+	return &MultiHeadAttention{
+		H: h, Heads: heads, SeqLen: seqLen,
+		Wq: NewLinear(h, h, ActNone, true, rng),
+		Wk: NewLinear(h, h, ActNone, true, rng),
+		Wv: NewLinear(h, h, ActNone, true, rng),
+		Wo: NewLinear(h, h, ActNone, true, rng),
+	}
+}
+
+// Params returns all trainable parameters.
+func (a *MultiHeadAttention) Params() []*Param {
+	var out []*Param
+	for _, l := range []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Forward runs self-attention over x of shape [b·s, h].
+func (a *MultiHeadAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows%a.SeqLen != 0 {
+		panic(fmt.Sprintf("nn: attention rows %d not divisible by seq len %d", x.Rows, a.SeqLen))
+	}
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+	a.q, a.k, a.v = q, k, v
+
+	nseq := x.Rows / a.SeqLen
+	dh := a.H / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	out := tensor.New(x.Rows, a.H)
+	a.probs = make([]*tensor.Matrix, 0, nseq*a.Heads)
+	for s := 0; s < nseq; s++ {
+		for hd := 0; hd < a.Heads; hd++ {
+			qs := q.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			ks := k.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			vs := v.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			scores := tensor.Scale(scale, tensor.MatMulNT(qs, ks))
+			probs := tensor.SoftmaxRows(scores)
+			a.probs = append(a.probs, probs)
+			head := tensor.MatMul(probs, vs)
+			out.SetSubMatrix(s*a.SeqLen, hd*dh, head)
+		}
+	}
+	return a.Wo.Forward(out)
+}
+
+// Backward propagates gradients through the attention module.
+func (a *MultiHeadAttention) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dout := a.Wo.Backward(dy)
+
+	nseq := dout.Rows / a.SeqLen
+	dh := a.H / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	dq := tensor.New(dout.Rows, a.H)
+	dk := tensor.New(dout.Rows, a.H)
+	dv := tensor.New(dout.Rows, a.H)
+	for s := 0; s < nseq; s++ {
+		for hd := 0; hd < a.Heads; hd++ {
+			probs := a.probs[s*a.Heads+hd]
+			dhead := dout.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			qs := a.q.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			ks := a.k.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+			vs := a.v.SubMatrix(s*a.SeqLen, hd*dh, a.SeqLen, dh)
+
+			dvs := tensor.MatMulTN(probs, dhead)
+			dprobs := tensor.MatMulNT(dhead, vs)
+			dscores := tensor.Scale(scale, tensor.SoftmaxRowsBackward(probs, dprobs))
+			dqs := tensor.MatMul(dscores, ks)
+			dks := tensor.MatMulTN(dscores, qs)
+
+			dq.SetSubMatrix(s*a.SeqLen, hd*dh, dqs)
+			dk.SetSubMatrix(s*a.SeqLen, hd*dh, dks)
+			dv.SetSubMatrix(s*a.SeqLen, hd*dh, dvs)
+		}
+	}
+	dx := a.Wq.Backward(dq)
+	tensor.AddInPlace(dx, a.Wk.Backward(dk))
+	tensor.AddInPlace(dx, a.Wv.Backward(dv))
+	return dx
+}

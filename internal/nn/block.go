@@ -1,0 +1,79 @@
+package nn
+
+import "repro/internal/tensor"
+
+// MLP is the Transformer feed-forward module (§3.2.1): h → 4h with GELU,
+// then 4h → h.
+type MLP struct {
+	H    int
+	Fc1  *Linear
+	Fc2  *Linear
+	Mult int
+}
+
+// NewMLP draws the two projection weights from rng in order Fc1, Fc2.
+func NewMLP(h int, rng *tensor.RNG) *MLP {
+	return &MLP{
+		H:    h,
+		Mult: 4,
+		Fc1:  NewLinear(h, 4*h, ActGELU, true, rng),
+		Fc2:  NewLinear(4*h, h, ActNone, true, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *MLP) Params() []*Param {
+	return append(m.Fc1.Params(), m.Fc2.Params()...)
+}
+
+// Forward applies the two projections.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	return m.Fc2.Forward(m.Fc1.Forward(x))
+}
+
+// Backward propagates through both projections.
+func (m *MLP) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	return m.Fc1.Backward(m.Fc2.Backward(dy))
+}
+
+// Block is one Megatron-style Transformer layer (§2.4): self-attention and
+// MLP, each wrapped in a residual connection followed by layer normalisation
+// (post-LN, as in the original Transformer the paper builds on).
+type Block struct {
+	H int
+
+	Attn *MultiHeadAttention
+	Ln1  *LayerNorm
+	Mlp  *MLP
+	Ln2  *LayerNorm
+}
+
+// NewBlock draws weights from rng in the order Attn(Wq,Wk,Wv,Wo), MLP(Fc1,Fc2).
+func NewBlock(h, heads, seqLen int, rng *tensor.RNG) *Block {
+	return &Block{
+		H:    h,
+		Attn: NewMultiHeadAttention(h, heads, seqLen, rng),
+		Ln1:  NewLayerNorm(h),
+		Mlp:  NewMLP(h, rng),
+		Ln2:  NewLayerNorm(h),
+	}
+}
+
+// Params returns the trainable parameters of the block.
+func (b *Block) Params() []*Param {
+	return append(b.Attn.Params(), b.Mlp.Params()...)
+}
+
+// Forward computes z = LN₂(y + MLP(y)) with y = LN₁(x + Attn(x)).
+func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := b.Ln1.Forward(tensor.Add(x, b.Attn.Forward(x)))
+	return b.Ln2.Forward(tensor.Add(y, b.Mlp.Forward(y)))
+}
+
+// Backward propagates through the block.
+func (b *Block) Backward(dz *tensor.Matrix) *tensor.Matrix {
+	dr2 := b.Ln2.Backward(dz)
+	dy := tensor.Add(dr2, b.Mlp.Backward(dr2))
+	dr1 := b.Ln1.Backward(dy)
+	return tensor.Add(dr1, b.Attn.Backward(dr1))
+}

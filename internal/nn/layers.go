@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation selects the nonlinearity fused into a Linear layer.
+type Activation int
+
+const (
+	// ActNone applies no nonlinearity.
+	ActNone Activation = iota
+	// ActGELU applies the tanh-approximated GELU.
+	ActGELU
+)
+
+// Linear is a fully connected layer y = x·W (+ bias) with an optional fused
+// activation. W is initialised Xavier-uniform from the supplied RNG — the
+// distributed packages consume the identical RNG stream so their sharded
+// weights match this layer's exactly.
+type Linear struct {
+	In, Out int
+	Act     Activation
+	W       *Param
+	B       *Param // nil when the layer has no bias
+
+	x   *tensor.Matrix // stashed input
+	pre *tensor.Matrix // stashed pre-activation
+}
+
+// NewLinear builds a Linear layer, drawing W from rng.
+func NewLinear(in, out int, act Activation, bias bool, rng *tensor.RNG) *Linear {
+	l := &Linear{In: in, Out: out, Act: act}
+	l.W = NewParam("linear.w", tensor.XavierMatrix(in, out, rng))
+	if bias {
+		l.B = NewParam("linear.b", tensor.New(1, out))
+	}
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
+// Forward computes the layer output for x of shape [rows, In].
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear forward %dx%d through %d->%d", x.Rows, x.Cols, l.In, l.Out))
+	}
+	l.x = x
+	y := tensor.MatMul(x, l.W.Value)
+	if l.B != nil {
+		y = tensor.AddRowVector(y, l.B.Value)
+	}
+	l.pre = y
+	if l.Act == ActGELU {
+		return tensor.GELU(y)
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns the input gradient.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if l.Act == ActGELU {
+		dy = tensor.Mul(dy, tensor.GELUGrad(l.pre))
+	}
+	l.W.AccumGrad(tensor.MatMulTN(l.x, dy))
+	if l.B != nil {
+		l.B.AccumGrad(tensor.ColSums(dy))
+	}
+	return tensor.MatMulNT(dy, l.W.Value)
+}
+
+// LayerNorm normalises each row to zero mean and unit variance (Eq. 13 of
+// the paper, which uses no affine scale/shift).
+type LayerNorm struct {
+	H   int
+	Eps float64
+
+	xhat   *tensor.Matrix
+	invstd *tensor.Matrix // per-row 1/sqrt(var+eps)
+}
+
+// NewLayerNorm builds a LayerNorm over rows of width h.
+func NewLayerNorm(h int) *LayerNorm { return &LayerNorm{H: h, Eps: 1e-5} }
+
+// Params returns nil: Eq. 13 layer normalisation has no trainable weights.
+func (l *LayerNorm) Params() []*Param { return nil }
+
+// Forward normalises each row of x.
+func (l *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.H {
+		panic(fmt.Sprintf("nn: LayerNorm forward %dx%d with h=%d", x.Rows, x.Cols, l.H))
+	}
+	n := float64(l.H)
+	sum := tensor.RowSums(x)
+	sq := tensor.RowSums(tensor.Mul(x, x))
+	mean := tensor.Scale(1/n, sum)
+	variance := tensor.Sub(tensor.Scale(1/n, sq), tensor.Mul(mean, mean))
+	inv := tensor.Apply(variance, func(v float64) float64 { return 1 / math.Sqrt(v+l.Eps) })
+	xhat := tensor.MulColVector(tensor.SubColVector(x, mean), inv)
+	l.xhat = xhat
+	l.invstd = inv
+	return xhat
+}
+
+// Backward implements Eq. 14:
+//
+//	X' = (dŶ − (Σ_j x̂_j·dŷ_j)·x̂/n − (Σ_j dŷ_j)/n) / sqrt(Var+ε)
+func (l *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	n := float64(l.H)
+	dotXhat := tensor.RowSums(tensor.Mul(dy, l.xhat)) // Σ x̂·dŷ per row
+	sumDy := tensor.RowSums(dy)                       // Σ dŷ per row
+	term := tensor.Sub(dy, tensor.MulColVector(l.xhat, tensor.Scale(1/n, dotXhat)))
+	term = tensor.SubColVector(term, tensor.Scale(1/n, sumDy))
+	return tensor.MulColVector(term, l.invstd)
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes the mean softmax cross-entropy of logits [n, classes]
+// against integer labels, returning the scalar loss and dLoss/dLogits.
+func CrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: CrossEntropy %d rows vs %d labels", logits.Rows, len(labels)))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	n := float64(logits.Rows)
+	var loss float64
+	grad := probs.Clone()
+	for i, lbl := range labels {
+		if lbl < 0 || lbl >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range %d", lbl, logits.Cols))
+		}
+		p := probs.At(i, lbl)
+		loss -= math.Log(math.Max(p, 1e-300))
+		grad.Set(i, lbl, grad.At(i, lbl)-1)
+	}
+	tensor.ScaleInPlace(grad, 1/n)
+	return loss / n, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	pred := tensor.ArgmaxRows(logits)
+	correct := 0
+	for i, lbl := range labels {
+		if pred[i] == lbl {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// MSE computes the mean squared error between pred and target along with the
+// gradient with respect to pred.
+func MSE(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if !pred.SameShape(target) {
+		panic("nn: MSE shape mismatch")
+	}
+	diff := tensor.Sub(pred, target)
+	n := float64(pred.Size())
+	var loss float64
+	for _, v := range diff.Data {
+		loss += v * v
+	}
+	return loss / n, tensor.Scale(2/n, diff)
+}

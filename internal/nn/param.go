@@ -1,0 +1,119 @@
+// Package nn is the serial reference implementation of every layer the
+// distributed schemes parallelise: linear, layer normalisation, multi-head
+// attention, the Transformer MLP and block, plus losses and optimisers.
+// All distributed packages (tesseract, megatron, optimus) are tested for
+// numerical agreement against this package, and the optimisers here are
+// reused by the distributed trainers (they act elementwise on local shards,
+// so the same code drives both worlds).
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam wraps a value matrix with a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	var grad *tensor.Matrix
+	if value.Phantom() {
+		grad = tensor.NewPhantom(value.Rows, value.Cols)
+	} else {
+		grad = tensor.New(value.Rows, value.Cols)
+	}
+	return &Param{Name: name, Value: value, Grad: grad}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// AccumGrad adds g into the gradient accumulator.
+func (p *Param) AccumGrad(g *tensor.Matrix) { tensor.AddInPlace(p.Grad, g) }
+
+// Optimizer updates a parameter set from its accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and advances internal state.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step applies v ← v − lr·(g + wd·v) to every parameter.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Value.Phantom() {
+			continue
+		}
+		for i, g := range p.Grad.Data {
+			p.Value.Data[i] -= s.LR * (g + s.WeightDecay*p.Value.Data[i])
+		}
+	}
+}
+
+// Adam implements the Adam optimiser with decoupled weight decay (AdamW),
+// the configuration the paper's ViT experiment uses (lr 0.003, weight decay
+// 0.3). State is keyed by parameter identity in call order, so serial and
+// distributed trainers that register parameters in the same order evolve
+// identically.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t     int
+	m, v  map[*Param]*tensor.Matrix
+	ready bool
+}
+
+// NewAdam returns an Adam optimiser with the usual defaults for unset
+// moments (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Step applies one Adam update to every parameter.
+func (a *Adam) Step(params []*Param) {
+	if !a.ready {
+		a.m = make(map[*Param]*tensor.Matrix)
+		a.v = make(map[*Param]*tensor.Matrix)
+		a.ready = true
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Value.Phantom() {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.Value.Data[i])
+		}
+	}
+}

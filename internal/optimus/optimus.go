@@ -1,0 +1,111 @@
+// Package optimus implements the 2-D tensor parallelism of Optimus (Xu et
+// al., §2.2 of the paper), the paper's second baseline. Optimus distributes
+// both activations and parameters over a q×q SUMMA mesh; structurally it is
+// exactly the d = 1 special case of Tesseract — the paper itself notes that
+// "d = 1 makes Tesseract a 2-D algorithm like SUMMA", and its Table 1/2
+// shapes [2,2] vs [2,2,1] confirm near-identical behaviour. This package
+// therefore instantiates the shared SUMMA-based layer implementations on a
+// depth-1 mesh while exposing Optimus' own 2-D API (no depth coordinate);
+// keeping one implementation guarantees the baseline and the contribution
+// differ only in the dimension under study.
+package optimus
+
+import (
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// Proc is one processor's view of the q×q Optimus mesh.
+type Proc struct {
+	inner *tesseract.Proc
+}
+
+// NewProc attaches the calling worker to a q×q mesh based at rank 0.
+func NewProc(w *dist.Worker, q int) *Proc {
+	return &Proc{inner: tesseract.NewProc(w, q, 1)}
+}
+
+// Q returns the mesh dimension.
+func (p *Proc) Q() int { return p.inner.Shape.Q }
+
+// Row returns this processor's grid row index.
+func (p *Proc) Row() int { return p.inner.I }
+
+// Col returns this processor's grid column index.
+func (p *Proc) Col() int { return p.inner.J }
+
+// Tesseract exposes the underlying depth-1 Tesseract view for interop with
+// shared helpers and tests.
+func (p *Proc) Tesseract() *tesseract.Proc { return p.inner }
+
+// MatMulAB computes the SUMMA product C = A·B (Algorithm 2).
+func (p *Proc) MatMulAB(a, b *tensor.Matrix) *tensor.Matrix { return p.inner.MatMulAB(a, b) }
+
+// MatMulABT computes C = A·Bᵀ (Eq. 3 activation gradient).
+func (p *Proc) MatMulABT(a, b *tensor.Matrix) *tensor.Matrix { return p.inner.MatMulABT(a, b) }
+
+// MatMulATB computes C = Aᵀ·B (Eq. 3 parameter gradient; the depth
+// all-reduce is a no-op at d = 1).
+func (p *Proc) MatMulATB(a, b *tensor.Matrix) *tensor.Matrix { return p.inner.MatMulATB(a, b) }
+
+// DistributeA slices a replicated global activation into the [a/q, b/q]
+// local block.
+func (p *Proc) DistributeA(global *tensor.Matrix) *tensor.Matrix { return p.inner.DistributeA(global) }
+
+// DistributeB slices a replicated global parameter into the [b/q, c/q]
+// local block.
+func (p *Proc) DistributeB(global *tensor.Matrix) *tensor.Matrix { return p.inner.DistributeB(global) }
+
+// CollectA reassembles an activation matrix on every processor.
+func (p *Proc) CollectA(local *tensor.Matrix) *tensor.Matrix { return p.inner.CollectA(local) }
+
+// Block is one Optimus-parallel Transformer layer.
+type Block struct {
+	inner *tesseract.Block
+}
+
+// NewBlock draws parameters from rng in the serial order.
+func NewBlock(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Block {
+	return &Block{inner: tesseract.NewBlock(p.inner, h, heads, seqLen, rng)}
+}
+
+// NewBlockPhantom builds the shape-only variant for paper-scale timing.
+func NewBlockPhantom(p *Proc, h, heads, seqLen int) *Block {
+	return &Block{inner: tesseract.NewBlockPhantom(p.inner, h, heads, seqLen)}
+}
+
+// Params returns the local shards.
+func (b *Block) Params() []*nn.Param { return b.inner.Params() }
+
+// Forward computes the local output block.
+func (b *Block) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	return b.inner.Forward(p.inner, x)
+}
+
+// Backward propagates through the layer.
+func (b *Block) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	return b.inner.Backward(p.inner, dy)
+}
+
+// MLP is the Optimus feed-forward module.
+type MLP struct{ inner *tesseract.MLP }
+
+// NewMLP draws Fc1, Fc2 from rng in the serial order.
+func NewMLP(p *Proc, h int, rng *tensor.RNG) *MLP {
+	return &MLP{inner: tesseract.NewMLP(p.inner, h, rng)}
+}
+
+// Params returns the local shards.
+func (m *MLP) Params() []*nn.Param { return m.inner.Params() }
+
+// Forward applies both projections.
+func (m *MLP) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	return m.inner.Forward(p.inner, x)
+}
+
+// Backward propagates through both projections.
+func (m *MLP) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	return m.inner.Backward(p.inner, dy)
+}

@@ -1,0 +1,178 @@
+// Package summa implements the Scalable Universal Matrix Multiplication
+// Algorithm (van de Geijn & Watts, Algorithm 2 of the paper) on one q×q
+// layer of a mesh, in the three variants tensor-parallel Transformers need:
+//
+//	MulAB  : C = A·B    (broadcast A panels along rows, B panels along columns)
+//	MulABT : C = A·Bᵀ   (broadcast B panels along columns, reduce along rows)
+//	MulATB : C = Aᵀ·B   (broadcast A panels along rows, reduce along columns)
+//
+// The two transposed variants implement the paper's Eq. 3 gradients
+// A' = C'·Bᵀ and B' = Aᵀ·C'. All three work on a single depth layer of a
+// Tesseract mesh; the tesseract package composes them across layers. With an
+// A-distributed left operand (block rows h = i + k·q) each layer simply sees
+// its own q×q slice, so the same kernels serve both the 2-D baseline
+// (Optimus) and each Tesseract layer.
+package summa
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/mesh"
+	"repro/internal/tensor"
+)
+
+// MulAB computes the SUMMA product C = A·B over the caller's layer.
+// a is the caller's A block (any row count), b the caller's B block; the
+// result has a.Rows × b.Cols and the same distribution as A.
+func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("summa: MulAB local blocks %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var c *tensor.Matrix
+	if a.Phantom() || b.Phantom() {
+		c = tensor.NewPhantom(a.Rows, b.Cols)
+	} else {
+		c = tensor.New(a.Rows, b.Cols)
+	}
+	for t := 0; t < p.Shape.Q; t++ {
+		aPanel := bcastRow(p, t, a)
+		bPanel := bcastCol(p, t, b)
+		compute.MatMulInto(p.W, c, aPanel, bPanel)
+	}
+	return c
+}
+
+// MulABT computes C = A·Bᵀ where a is A-distributed (the caller's block of
+// A, e.g. an output gradient) and b is B-distributed (the caller's parameter
+// block). The result is A-distributed with b.Rows columns per block:
+//
+//	C[h, j] = Σ_t A[h, t]·B[j, t]ᵀ
+//
+// Iteration j broadcasts B[j, t] down each grid column t, multiplies against
+// the resident A block, and reduces the partials across the row to processor
+// (i, j) — the schedule described in §3.1 of the paper.
+func MulABT(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("summa: MulABT local blocks %dx%d by %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var out *tensor.Matrix
+	for j := 0; j < p.Shape.Q; j++ {
+		// B[j, J] lives on grid row j of every column; broadcast it down
+		// the column so each processor can form its partial product.
+		var payload *tensor.Matrix
+		if p.I == j {
+			payload = b
+		}
+		bPanel := p.Col.Broadcast(p.W, p.ColRank(j), payload)
+		partial := compute.MatMulNT(p.W, a, bPanel)
+		r := p.Row.Reduce(p.W, p.RowRank(j), partial)
+		if p.J == j {
+			out = r
+		}
+	}
+	return out
+}
+
+// MulATB computes C = Aᵀ·B where both a and b are A-distributed blocks with
+// equal row counts (activations and output gradients). The result is
+// B-distributed:
+//
+//	C[t, j] = Σ_h A[h, t]ᵀ·B[h, j]
+//
+// Iteration t broadcasts the A[·, t] panel along each row, multiplies
+// against the resident right operand, and reduces the partials down the
+// column to processor (t, j). On a Tesseract mesh the caller must still
+// all-reduce the result across the depth group (the paper's §3.1 rule for
+// B'); this function handles one layer.
+func MulATB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("summa: MulATB local blocks %dx%dᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var out *tensor.Matrix
+	for t := 0; t < p.Shape.Q; t++ {
+		var payload *tensor.Matrix
+		if p.J == t {
+			payload = a
+		}
+		aPanel := p.Row.Broadcast(p.W, p.RowRank(t), payload)
+		partial := compute.MatMulTN(p.W, aPanel, b)
+		r := p.Col.Reduce(p.W, p.ColRank(t), partial)
+		if p.I == t {
+			out = r
+		}
+	}
+	return out
+}
+
+func bcastRow(p *mesh.Proc, t int, a *tensor.Matrix) *tensor.Matrix {
+	var payload *tensor.Matrix
+	if p.J == t {
+		payload = a
+	}
+	return p.Row.Broadcast(p.W, p.RowRank(t), payload)
+}
+
+func bcastCol(p *mesh.Proc, t int, b *tensor.Matrix) *tensor.Matrix {
+	var payload *tensor.Matrix
+	if p.I == t {
+		payload = b
+	}
+	return p.Col.Broadcast(p.W, p.ColRank(t), payload)
+}
+
+// DistributeB slices a global matrix into the q×q B-distribution of the
+// caller's layer: processor (i, j) receives block (i, j) of a q×q grid.
+// Every caller passes the same global matrix (deterministic replication, as
+// used for parameter initialisation).
+func DistributeB(p *mesh.Proc, global *tensor.Matrix) *tensor.Matrix {
+	q := p.Shape.Q
+	if global.Rows%q != 0 || global.Cols%q != 0 {
+		panic(fmt.Sprintf("summa: cannot B-distribute %dx%d over q=%d", global.Rows, global.Cols, q))
+	}
+	br, bc := global.Rows/q, global.Cols/q
+	return global.SubMatrix(p.I*br, p.J*bc, br, bc)
+}
+
+// DistributeA slices a global matrix into the Tesseract A-distribution:
+// processor (i, j, k) receives block (h, j) with h = i + k·q of a (d·q)×q
+// grid (Figure 4a).
+func DistributeA(p *mesh.Proc, global *tensor.Matrix) *tensor.Matrix {
+	q, d := p.Shape.Q, p.Shape.D
+	if global.Rows%(d*q) != 0 || global.Cols%q != 0 {
+		panic(fmt.Sprintf("summa: cannot A-distribute %dx%d over q=%d d=%d", global.Rows, global.Cols, q, d))
+	}
+	br, bc := global.Rows/(d*q), global.Cols/q
+	return global.SubMatrix(p.BlockRow()*br, p.J*bc, br, bc)
+}
+
+// CollectA reassembles an A-distributed matrix on every processor via
+// all-gathers along the row (columns of the matrix) and the slab (block
+// rows). It is used by tests and by redundantly-computed model heads.
+func CollectA(p *mesh.Proc, local *tensor.Matrix) *tensor.Matrix {
+	rowParts := p.Row.AllGather(p.W, local)
+	wide := hcat(rowParts)
+	slabParts := p.Slab.AllGather(p.W, wide)
+	// Slab order is h = i + k·q ascending, i.e. exactly block-row order.
+	return vcat(slabParts)
+}
+
+// CollectB reassembles a B-distributed matrix on every processor of a layer.
+func CollectB(p *mesh.Proc, local *tensor.Matrix) *tensor.Matrix {
+	rowParts := p.Row.AllGather(p.W, local)
+	wide := hcat(rowParts)
+	colParts := p.Col.AllGather(p.W, wide)
+	return vcat(colParts)
+}
+
+func hcat(parts []*tensor.Matrix) *tensor.Matrix {
+	blocks := make([]*tensor.Matrix, len(parts))
+	copy(blocks, parts)
+	return tensor.Combine(1, len(blocks), blocks)
+}
+
+func vcat(parts []*tensor.Matrix) *tensor.Matrix {
+	blocks := make([]*tensor.Matrix, len(parts))
+	copy(blocks, parts)
+	return tensor.Combine(len(blocks), 1, blocks)
+}

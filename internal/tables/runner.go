@@ -1,0 +1,269 @@
+package tables
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/megatron"
+	"repro/internal/mesh"
+	"repro/internal/optimus"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// Options controls how the harness executes a row.
+type Options struct {
+	// SeqLen is the Transformer sequence length (default DefaultSeqLen).
+	SeqLen int
+	// Layers is the number of Transformer layers timed (default 1; the
+	// paper reports per-layer-stack times whose absolute scale we do not
+	// reproduce, only the relative shape).
+	Layers int
+	// Cost overrides the machine model (default dist.MeluxinaModel).
+	Cost dist.CostModel
+	// GPUsPerNode overrides the node size (default 4, as on Meluxina).
+	GPUsPerNode int
+	// Real executes with real random matrices instead of phantoms. Only
+	// sensible for small hidden sizes (tests use it to validate the
+	// phantom path).
+	Real bool
+	// NoRecompute disables activation checkpointing. By default the
+	// backward pass re-runs the forward first (recompute), which is how
+	// memory-constrained runs at the paper's sizes execute and which
+	// matches the paper's uniform backward ≈ 3× forward ratio across all
+	// twelve Table 1 rows.
+	NoRecompute bool
+	// Seed seeds parameter/data generation in Real mode.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SeqLen == 0 {
+		o.SeqLen = DefaultSeqLen
+	}
+	if o.Layers == 0 {
+		o.Layers = 1
+	}
+	if o.Cost.FLOPS == 0 {
+		o.Cost = dist.MeluxinaModel()
+	}
+	if o.GPUsPerNode == 0 {
+		o.GPUsPerNode = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// blockRunner abstracts one rank's view of a Transformer layer stack so the
+// three schemes share the timing scaffold.
+type blockRunner interface {
+	forward()
+	backward()
+}
+
+// RunRow executes one table row on a fresh simulated cluster and returns the
+// measured columns. The forward pass and backward pass are timed separately
+// by resetting the simulated clocks in between, exactly mirroring the
+// paper's forward-time/backward-time split.
+func RunRow(row Row, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	c := dist.New(dist.Config{
+		WorldSize:   row.GPUs,
+		GPUsPerNode: opts.GPUsPerNode,
+		Cost:        opts.Cost,
+	})
+	runners := make([]blockRunner, row.GPUs)
+
+	// Phase 0 (untimed): construct the model and inputs.
+	err := c.Run(func(w *dist.Worker) error {
+		r, err := newRunner(row, opts, w)
+		if err != nil {
+			return err
+		}
+		runners[w.Rank()] = r
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Phase 1: forward.
+	c.ResetClocks()
+	if err := c.Run(func(w *dist.Worker) error {
+		runners[w.Rank()].forward()
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	fwd := c.MaxClock()
+
+	// Phase 2: backward (with activation recomputation unless disabled).
+	c.ResetClocks()
+	if err := c.Run(func(w *dist.Worker) error {
+		if !opts.NoRecompute {
+			runners[w.Rank()].forward()
+		}
+		runners[w.Rank()].backward()
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	bwd := c.MaxClock()
+
+	return newResult(row.Batch, fwd, bwd), nil
+}
+
+func newRunner(row Row, opts Options, w *dist.Worker) (blockRunner, error) {
+	switch row.Scheme {
+	case Megatron:
+		return newMegatronRunner(row, opts, w)
+	case Optimus:
+		return newOptimusRunner(row, opts, w)
+	case Tesseract:
+		return newTesseractRunner(row, opts, w)
+	default:
+		return nil, fmt.Errorf("tables: unknown scheme %q", row.Scheme)
+	}
+}
+
+// --- Tesseract -------------------------------------------------------------
+
+type tesseractRunner struct {
+	p      *tesseract.Proc
+	blocks []*tesseract.Block
+	x, dy  *tensor.Matrix
+	out    []*tensor.Matrix
+}
+
+func newTesseractRunner(row Row, opts Options, w *dist.Worker) (*tesseractRunner, error) {
+	s := mesh.Shape{Q: row.Q, D: row.D}
+	if s.Size() != row.GPUs {
+		return nil, fmt.Errorf("tables: shape %s has %d processors, row says %d", row.Shape(), s.Size(), row.GPUs)
+	}
+	p := tesseract.NewProcAt(w, s)
+	rows := row.Batch * opts.SeqLen / (row.Q * row.D)
+	cols := row.Hidden / row.Q
+	r := &tesseractRunner{p: p}
+	for l := 0; l < opts.Layers; l++ {
+		if opts.Real {
+			r.blocks = append(r.blocks, tesseract.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
+		} else {
+			r.blocks = append(r.blocks, tesseract.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
+		}
+	}
+	if opts.Real {
+		r.x = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+100+uint64(w.Rank())))
+		r.dy = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+200+uint64(w.Rank())))
+	} else {
+		r.x = tensor.NewPhantom(rows, cols)
+		r.dy = tensor.NewPhantom(rows, cols)
+	}
+	return r, nil
+}
+
+func (r *tesseractRunner) forward() {
+	x := r.x
+	for _, b := range r.blocks {
+		x = b.Forward(r.p, x)
+	}
+	r.out = append(r.out[:0], x)
+}
+
+func (r *tesseractRunner) backward() {
+	dy := r.dy
+	for i := len(r.blocks) - 1; i >= 0; i-- {
+		dy = r.blocks[i].Backward(r.p, dy)
+	}
+}
+
+// --- Optimus ---------------------------------------------------------------
+
+type optimusRunner struct {
+	p      *optimus.Proc
+	blocks []*optimus.Block
+	x, dy  *tensor.Matrix
+}
+
+func newOptimusRunner(row Row, opts Options, w *dist.Worker) (*optimusRunner, error) {
+	if row.Q*row.Q != row.GPUs {
+		return nil, fmt.Errorf("tables: Optimus shape %s has %d processors, row says %d", row.Shape(), row.Q*row.Q, row.GPUs)
+	}
+	p := optimus.NewProc(w, row.Q)
+	rows := row.Batch * opts.SeqLen / row.Q
+	cols := row.Hidden / row.Q
+	r := &optimusRunner{p: p}
+	for l := 0; l < opts.Layers; l++ {
+		if opts.Real {
+			r.blocks = append(r.blocks, optimus.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
+		} else {
+			r.blocks = append(r.blocks, optimus.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
+		}
+	}
+	if opts.Real {
+		r.x = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+100+uint64(w.Rank())))
+		r.dy = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+200+uint64(w.Rank())))
+	} else {
+		r.x = tensor.NewPhantom(rows, cols)
+		r.dy = tensor.NewPhantom(rows, cols)
+	}
+	return r, nil
+}
+
+func (r *optimusRunner) forward() {
+	x := r.x
+	for _, b := range r.blocks {
+		x = b.Forward(r.p, x)
+	}
+}
+
+func (r *optimusRunner) backward() {
+	dy := r.dy
+	for i := len(r.blocks) - 1; i >= 0; i-- {
+		dy = r.blocks[i].Backward(r.p, dy)
+	}
+}
+
+// --- Megatron --------------------------------------------------------------
+
+type megatronRunner struct {
+	p      *megatron.Proc
+	blocks []*megatron.Block
+	x, dy  *tensor.Matrix
+}
+
+func newMegatronRunner(row Row, opts Options, w *dist.Worker) (*megatronRunner, error) {
+	p := megatron.NewProc(w, row.GPUs)
+	rows := row.Batch * opts.SeqLen // activations fully replicated
+	r := &megatronRunner{p: p}
+	for l := 0; l < opts.Layers; l++ {
+		if opts.Real {
+			r.blocks = append(r.blocks, megatron.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
+		} else {
+			r.blocks = append(r.blocks, megatron.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
+		}
+	}
+	if opts.Real {
+		r.x = tensor.RandomMatrix(rows, row.Hidden, tensor.NewRNG(opts.Seed+100))
+		r.dy = tensor.RandomMatrix(rows, row.Hidden, tensor.NewRNG(opts.Seed+200))
+	} else {
+		r.x = tensor.NewPhantom(rows, row.Hidden)
+		r.dy = tensor.NewPhantom(rows, row.Hidden)
+	}
+	return r, nil
+}
+
+func (r *megatronRunner) forward() {
+	x := r.x
+	for _, b := range r.blocks {
+		x = b.Forward(r.p, x)
+	}
+}
+
+func (r *megatronRunner) backward() {
+	dy := r.dy
+	for i := len(r.blocks) - 1; i >= 0; i-- {
+		dy = r.blocks[i].Backward(r.p, dy)
+	}
+}

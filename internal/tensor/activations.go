@@ -1,0 +1,102 @@
+package tensor
+
+import "math"
+
+// GELU applies the Gaussian Error Linear Unit (tanh approximation, the form
+// used by Transformer implementations) elementwise.
+func GELU(m *Matrix) *Matrix {
+	return Apply(m, geluScalar)
+}
+
+func geluScalar(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// GELUGrad returns d GELU(x)/dx evaluated elementwise at m.
+func GELUGrad(m *Matrix) *Matrix {
+	return Apply(m, geluGradScalar)
+}
+
+func geluGradScalar(x float64) float64 {
+	const c = 0.7978845608028654
+	inner := c * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dinner := c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dinner
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(m *Matrix) *Matrix {
+	return Apply(m, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ReLUGrad returns the elementwise derivative of ReLU at m (1 for x>0 else 0).
+func ReLUGrad(m *Matrix) *Matrix {
+	return Apply(m, func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m.
+func SoftmaxRows(m *Matrix) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxRowsBackward returns the input gradient of a row softmax given the
+// softmax output s and the output gradient ds:
+// dx_j = s_j * (ds_j − Σ_k ds_k s_k).
+func SoftmaxRowsBackward(s, ds *Matrix) *Matrix {
+	if !s.SameShape(ds) {
+		panic("tensor: SoftmaxRowsBackward shape mismatch")
+	}
+	if phantomAny(s, ds) {
+		return NewPhantom(s.Rows, s.Cols)
+	}
+	out := New(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		srow := s.Data[i*s.Cols : (i+1)*s.Cols]
+		drow := ds.Data[i*s.Cols : (i+1)*s.Cols]
+		orow := out.Data[i*s.Cols : (i+1)*s.Cols]
+		var dot float64
+		for j := range srow {
+			dot += srow[j] * drow[j]
+		}
+		for j := range srow {
+			orow[j] = srow[j] * (drow[j] - dot)
+		}
+	}
+	return out
+}

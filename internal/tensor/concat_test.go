@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHCatVCatRoundTripWithSubMatrix(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows := 1 + rng.Intn(5)
+		c1 := 1 + rng.Intn(4)
+		c2 := 1 + rng.Intn(4)
+		a := RandomMatrix(rows, c1, rng)
+		b := RandomMatrix(rows, c2, rng)
+		cat := HCat(a, b)
+		if cat.Rows != rows || cat.Cols != c1+c2 {
+			return false
+		}
+		return cat.SubMatrix(0, 0, rows, c1).MaxAbsDiff(a) == 0 &&
+			cat.SubMatrix(0, c1, rows, c2).MaxAbsDiff(b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		cols := 1 + rng.Intn(5)
+		r1 := 1 + rng.Intn(4)
+		r2 := 1 + rng.Intn(4)
+		a := RandomMatrix(r1, cols, rng)
+		b := RandomMatrix(r2, cols, rng)
+		cat := VCat(a, b)
+		if cat.Rows != r1+r2 || cat.Cols != cols {
+			return false
+		}
+		return cat.SubMatrix(0, 0, r1, cols).MaxAbsDiff(a) == 0 &&
+			cat.SubMatrix(r1, 0, r2, cols).MaxAbsDiff(b) == 0
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHCatDistributesOverMatMul(t *testing.T) {
+	// A·[B1 | B2] = [A·B1 | A·B2] — the identity behind the fused QKV
+	// projection layout.
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(4)
+		n1 := 1 + rng.Intn(3)
+		n2 := 1 + rng.Intn(3)
+		a := RandomMatrix(m, k, rng)
+		b1 := RandomMatrix(k, n1, rng)
+		b2 := RandomMatrix(k, n2, rng)
+		lhs := MatMul(a, HCat(b1, b2))
+		rhs := HCat(MatMul(a, b1), MatMul(a, b2))
+		return lhs.MaxAbsDiff(rhs) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCatStacksMatMulRows(t *testing.T) {
+	// [A1; A2]·B = [A1·B; A2·B] — the identity behind Tesseract's
+	// depth-wise activation split (Figure 4a).
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m1 := 1 + rng.Intn(3)
+		m2 := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(4)
+		a1 := RandomMatrix(m1, k, rng)
+		a2 := RandomMatrix(m2, k, rng)
+		b := RandomMatrix(k, n, rng)
+		lhs := MatMul(VCat(a1, a2), b)
+		rhs := VCat(MatMul(a1, b), MatMul(a2, b))
+		return lhs.MaxAbsDiff(rhs) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "HCat")
+	HCat(New(2, 2), New(3, 2))
+}
+
+func TestVCatShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "VCat")
+	VCat(New(2, 2), New(2, 3))
+}
+
+func TestEmptyCats(t *testing.T) {
+	if m := HCat(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty HCat should be empty")
+	}
+	if m := VCat(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty VCat should be empty")
+	}
+}

@@ -1,0 +1,299 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// phantomAny reports whether any operand is phantom.
+func phantomAny(ms ...*Matrix) bool {
+	for _, m := range ms {
+		if m.Phantom() {
+			return true
+		}
+	}
+	return false
+}
+
+// MatMul returns C = A·B. The kernel uses i-k-j loop order so the innermost
+// loop streams both B and C rows, which is the cache-friendly ordering for
+// row-major storage.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return NewPhantom(a.Rows, b.Cols)
+	}
+	c := New(a.Rows, b.Cols)
+	matMulAccum(c, a, b)
+	return c
+}
+
+// MatMulInto computes C += A·B into an existing matrix (must be A.Rows×B.Cols).
+func MatMulInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto %dx%d += %dx%d * %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(c, a, b) {
+		return
+	}
+	matMulAccum(c, a, b)
+}
+
+func matMulAccum(c, a, b *Matrix) {
+	n, k := b.Cols, a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulNT returns C = A·Bᵀ.
+func MatMulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulNT %dx%d by %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return NewPhantom(a.Rows, b.Rows)
+	}
+	c := New(a.Rows, b.Rows)
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// MatMulTN returns C = Aᵀ·B.
+func MatMulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTN %dx%dᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return NewPhantom(a.Cols, b.Cols)
+	}
+	c := New(a.Cols, b.Cols)
+	for l := 0; l < a.Rows; l++ {
+		arow := a.Data[l*a.Cols : (l+1)*a.Cols]
+		brow := b.Data[l*b.Cols : (l+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(m.Cols, m.Rows)
+	}
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Matrix) *Matrix { return zipWith(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a − b elementwise.
+func Sub(a, b *Matrix) *Matrix { return zipWith(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the elementwise (Hadamard) product a ⊙ b.
+func Mul(a, b *Matrix) *Matrix { return zipWith(a, b, func(x, y float64) float64 { return x * y }) }
+
+func zipWith(a, b *Matrix, f func(x, y float64) float64) *Matrix {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: elementwise op %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return NewPhantom(a.Rows, a.Cols)
+	}
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: AddInPlace %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AxpyInPlace computes a += alpha*b.
+func AxpyInPlace(a *Matrix, alpha float64, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: AxpyInPlace %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(a, b) {
+		return
+	}
+	for i := range a.Data {
+		a.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// Scale returns alpha*m as a new matrix.
+func Scale(alpha float64, m *Matrix) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = alpha * v
+	}
+	return out
+}
+
+// ScaleInPlace computes m *= alpha.
+func ScaleInPlace(m *Matrix, alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Apply returns f applied elementwise.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// AddRowVector returns m with the row vector v (1×Cols or length-Cols matrix)
+// added to every row — the bias-add used by linear layers.
+func AddRowVector(m, v *Matrix) *Matrix {
+	if v.Rows*v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector %dx%d with vector of %d", m.Rows, m.Cols, v.Rows*v.Cols))
+	}
+	if phantomAny(m, v) {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bv := range v.Data {
+			orow[j] = row[j] + bv
+		}
+	}
+	return out
+}
+
+// ColSums returns the 1×Cols vector of column sums — the bias gradient.
+func ColSums(m *Matrix) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(1, m.Cols)
+	}
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// RowSums returns the Rows×1 vector of row sums.
+func RowSums(m *Matrix) *Matrix {
+	if m.Phantom() {
+		return NewPhantom(m.Rows, 1)
+	}
+	out := New(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (0 for phantoms).
+func Sum(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Frobenius returns the Frobenius norm of m (0 for phantoms).
+func Frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgmaxRows returns, for each row, the column index of the maximum element.
+func ArgmaxRows(m *Matrix) []int {
+	if m.Phantom() {
+		return make([]int, m.Rows)
+	}
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		best, arg := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, arg = v, j
+			}
+		}
+		out[i] = arg
+	}
+	return out
+}
+
+// GEMMFlops returns the floating-point operation count of an m×k by k×n
+// multiply-accumulate (2·m·n·k). Float dimensions are accepted so that
+// phantom attention can charge fractional sequences per processor.
+func GEMMFlops(m, n, k float64) float64 { return 2 * m * n * k }

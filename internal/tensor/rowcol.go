@@ -1,0 +1,122 @@
+package tensor
+
+import "fmt"
+
+// checkColVector validates v as an m.Rows-length column vector.
+func checkColVector(m, v *Matrix, op string) {
+	if v.Rows*v.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: %s %dx%d with vector of %d", op, m.Rows, m.Cols, v.Rows*v.Cols))
+	}
+}
+
+// AddColVector returns m with v_i added to every element of row i.
+func AddColVector(m, v *Matrix) *Matrix {
+	checkColVector(m, v, "AddColVector")
+	if phantomAny(m, v) {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := v.Data[i]
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			orow[j] = x + s
+		}
+	}
+	return out
+}
+
+// SubColVector returns m with v_i subtracted from every element of row i.
+func SubColVector(m, v *Matrix) *Matrix {
+	checkColVector(m, v, "SubColVector")
+	if phantomAny(m, v) {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := v.Data[i]
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			orow[j] = x - s
+		}
+	}
+	return out
+}
+
+// MulColVector returns m with row i scaled by v_i.
+func MulColVector(m, v *Matrix) *Matrix {
+	checkColVector(m, v, "MulColVector")
+	if phantomAny(m, v) {
+		return NewPhantom(m.Rows, m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := v.Data[i]
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			orow[j] = x * s
+		}
+	}
+	return out
+}
+
+// HCat concatenates matrices left to right (equal row counts).
+func HCat(parts ...*Matrix) *Matrix {
+	if len(parts) == 0 {
+		return &Matrix{}
+	}
+	rows := parts[0].Rows
+	cols := 0
+	phantom := false
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic("tensor: HCat row mismatch")
+		}
+		cols += p.Cols
+		if p.Data == nil && p.Size() > 0 {
+			phantom = true
+		}
+	}
+	if phantom {
+		return NewPhantom(rows, cols)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		out.SetSubMatrix(0, off, p)
+		off += p.Cols
+	}
+	return out
+}
+
+// VCat concatenates matrices top to bottom (equal column counts).
+func VCat(parts ...*Matrix) *Matrix {
+	if len(parts) == 0 {
+		return &Matrix{}
+	}
+	cols := parts[0].Cols
+	rows := 0
+	phantom := false
+	for _, p := range parts {
+		if p.Cols != cols {
+			panic("tensor: VCat column mismatch")
+		}
+		rows += p.Rows
+		if p.Data == nil && p.Size() > 0 {
+			phantom = true
+		}
+	}
+	if phantom {
+		return NewPhantom(rows, cols)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		out.SetSubMatrix(off, 0, p)
+		off += p.Rows
+	}
+	return out
+}

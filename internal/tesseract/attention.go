@@ -1,0 +1,172 @@
+package tesseract
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Attention is the Tesseract-parallel multi-head self-attention layer of
+// §3.2.1 (Figure 5b). The fused QKV projection is a Tesseract Linear with a
+// [h, 3h] weight laid out so each grid column receives head-aligned Q, K and
+// V slices; the per-head attention math then runs entirely locally (each
+// processor owns n/q whole heads of b/(dq) whole sequences), and the output
+// projection is another Tesseract Linear. The only communication is inside
+// the two linears, exactly as the paper describes.
+type Attention struct {
+	H, Heads, SeqLen int
+
+	QKV  *Linear // h -> 3h, head-aligned column permutation
+	Proj *Linear // h -> h
+
+	q, k, v *tensor.Matrix
+	probs   []*tensor.Matrix
+}
+
+// NewAttention draws Wq, Wk, Wv, Wo (plus zero biases) from rng in the same
+// order as nn.NewMultiHeadAttention, then packs Wq|Wk|Wv into the fused
+// column-permuted QKV weight: grid column j holds [Wq_j | Wk_j | Wv_j], so
+// the local output splits into aligned Q, K, V blocks of h/q columns each.
+func NewAttention(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Attention {
+	validateAttention(p, h, heads)
+	wq := tensor.XavierMatrix(h, h, rng)
+	wk := tensor.XavierMatrix(h, h, rng)
+	wv := tensor.XavierMatrix(h, h, rng)
+	wo := tensor.XavierMatrix(h, h, rng)
+
+	q := p.Shape.Q
+	bc := h / q
+	cols := make([]*tensor.Matrix, 0, 3*q)
+	for j := 0; j < q; j++ {
+		cols = append(cols,
+			wq.SubMatrix(0, j*bc, h, bc),
+			wk.SubMatrix(0, j*bc, h, bc),
+			wv.SubMatrix(0, j*bc, h, bc))
+	}
+	fused := tensor.HCat(cols...)
+
+	a := &Attention{H: h, Heads: heads, SeqLen: seqLen}
+	a.QKV = newLinearFromGlobal(p, fused, nn.ActNone, true)
+	a.Proj = newLinearFromGlobal(p, wo, nn.ActNone, true)
+	return a
+}
+
+// NewAttentionPhantom builds the shape-only variant for paper-scale timing.
+func NewAttentionPhantom(p *Proc, h, heads, seqLen int) *Attention {
+	validateAttention(p, h, heads)
+	a := &Attention{H: h, Heads: heads, SeqLen: seqLen}
+	a.QKV = NewLinearPhantom(p, h, 3*h, nn.ActNone, true)
+	a.Proj = NewLinearPhantom(p, h, h, nn.ActNone, true)
+	return a
+}
+
+func validateAttention(p *Proc, h, heads int) {
+	if h%heads != 0 {
+		panic(fmt.Sprintf("tesseract: hidden %d not divisible by heads %d", h, heads))
+	}
+	if heads%p.Shape.Q != 0 {
+		panic(fmt.Sprintf("tesseract: heads %d not divisible by q=%d", heads, p.Shape.Q))
+	}
+}
+
+// Params returns the shards this processor owns.
+func (a *Attention) Params() []*nn.Param {
+	return append(a.QKV.Params(), a.Proj.Params()...)
+}
+
+// Forward runs attention over the local block x of shape [m̂, h/q], where
+// m̂ = b·s/(d·q) rows cover whole sequences.
+func (a *Attention) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	qkv := a.QKV.Forward(p, x)
+	hq := a.H / p.Shape.Q
+	aq := qkv.SubMatrix(0, 0, qkv.Rows, hq)
+	ak := qkv.SubMatrix(0, hq, qkv.Rows, hq)
+	av := qkv.SubMatrix(0, 2*hq, qkv.Rows, hq)
+	a.q, a.k, a.v = aq, ak, av
+
+	out := a.attendForward(p, aq, ak, av)
+	return a.Proj.Forward(p, out)
+}
+
+// attendForward performs the local per-head attention. In phantom mode the
+// arithmetic is skipped and the flop cost is charged analytically, using a
+// possibly fractional sequences-per-processor count (the paper's Table 1
+// includes shapes like [4,4,2] with batch 12, where b/(dq) = 1.5).
+func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matrix {
+	headsLocal := a.Heads / p.Shape.Q
+	dh := a.H / a.Heads
+	s := a.SeqLen
+	if q.Phantom() {
+		seqF := float64(q.Rows) / float64(s)
+		perHead := 4*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
+		p.W.Compute(seqF * float64(headsLocal) * perHead)
+		return tensor.NewPhantom(q.Rows, q.Cols)
+	}
+	if q.Rows%s != 0 {
+		panic(fmt.Sprintf("tesseract: attention rows %d not divisible by seq len %d (batch must divide d*q)", q.Rows, s))
+	}
+	nseq := q.Rows / s
+	scale := 1 / math.Sqrt(float64(dh))
+	out := tensor.New(q.Rows, q.Cols)
+	a.probs = make([]*tensor.Matrix, 0, nseq*headsLocal)
+	for sq := 0; sq < nseq; sq++ {
+		for hd := 0; hd < headsLocal; hd++ {
+			qs := q.SubMatrix(sq*s, hd*dh, s, dh)
+			ks := k.SubMatrix(sq*s, hd*dh, s, dh)
+			vs := v.SubMatrix(sq*s, hd*dh, s, dh)
+			scores := tensor.Scale(scale, compute.MatMulNT(p.W, qs, ks))
+			probs := compute.SoftmaxRows(p.W, scores)
+			a.probs = append(a.probs, probs)
+			head := compute.MatMul(p.W, probs, vs)
+			out.SetSubMatrix(sq*s, hd*dh, head)
+		}
+	}
+	return out
+}
+
+// Backward propagates through the attention module and returns the local
+// input gradient.
+func (a *Attention) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	dout := a.Proj.Backward(p, dy)
+	dqkv := a.attendBackward(p, dout)
+	return a.QKV.Backward(p, dqkv)
+}
+
+func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix {
+	headsLocal := a.Heads / p.Shape.Q
+	dh := a.H / a.Heads
+	s := a.SeqLen
+	hq := a.H / p.Shape.Q
+	if dout.Phantom() {
+		seqF := float64(dout.Rows) / float64(s)
+		perHead := 8*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
+		p.W.Compute(seqF * float64(headsLocal) * perHead)
+		return tensor.NewPhantom(dout.Rows, 3*hq)
+	}
+	nseq := dout.Rows / s
+	scale := 1 / math.Sqrt(float64(dh))
+	dqkv := tensor.New(dout.Rows, 3*hq)
+	for sq := 0; sq < nseq; sq++ {
+		for hd := 0; hd < headsLocal; hd++ {
+			probs := a.probs[sq*headsLocal+hd]
+			dhead := dout.SubMatrix(sq*s, hd*dh, s, dh)
+			qs := a.q.SubMatrix(sq*s, hd*dh, s, dh)
+			ks := a.k.SubMatrix(sq*s, hd*dh, s, dh)
+			vs := a.v.SubMatrix(sq*s, hd*dh, s, dh)
+
+			dvs := compute.MatMulTN(p.W, probs, dhead)
+			dprobs := compute.MatMulNT(p.W, dhead, vs)
+			dscores := tensor.Scale(scale, compute.SoftmaxRowsBackward(p.W, probs, dprobs))
+			dqs := compute.MatMul(p.W, dscores, ks)
+			dks := compute.MatMulTN(p.W, dscores, qs)
+
+			dqkv.SetSubMatrix(sq*s, hd*dh, dqs)
+			dqkv.SetSubMatrix(sq*s, hq+hd*dh, dks)
+			dqkv.SetSubMatrix(sq*s, 2*hq+hd*dh, dvs)
+		}
+	}
+	return dqkv
+}

@@ -1,0 +1,105 @@
+package tesseract
+
+import (
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MLP is the Tesseract-parallel Transformer feed-forward module (§3.2.1,
+// Figure 5a): parameters [h/q, 4h/q] and [4h/q, h/q] per processor, inputs
+// and outputs A-distributed [b·s/(dq), h/q].
+type MLP struct {
+	H   int
+	Fc1 *Linear
+	Fc2 *Linear
+}
+
+// NewMLP draws Fc1, Fc2 from rng in the same order as nn.NewMLP.
+func NewMLP(p *Proc, h int, rng *tensor.RNG) *MLP {
+	return &MLP{
+		H:   h,
+		Fc1: NewLinear(p, h, 4*h, nn.ActGELU, true, rng),
+		Fc2: NewLinear(p, 4*h, h, nn.ActNone, true, rng),
+	}
+}
+
+// NewMLPPhantom builds the shape-only variant.
+func NewMLPPhantom(p *Proc, h int) *MLP {
+	return &MLP{
+		H:   h,
+		Fc1: NewLinearPhantom(p, h, 4*h, nn.ActGELU, true),
+		Fc2: NewLinearPhantom(p, 4*h, h, nn.ActNone, true),
+	}
+}
+
+// Params returns the shards this processor owns.
+func (m *MLP) Params() []*nn.Param {
+	return append(m.Fc1.Params(), m.Fc2.Params()...)
+}
+
+// Forward applies both projections to the local block.
+func (m *MLP) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	return m.Fc2.Forward(p, m.Fc1.Forward(p, x))
+}
+
+// Backward propagates through both projections.
+func (m *MLP) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	return m.Fc1.Backward(p, m.Fc2.Backward(p, dy))
+}
+
+// Block is one Tesseract-parallel Transformer layer: attention and MLP with
+// residual connections and layer normalisation, mirroring nn.Block so the
+// two produce identical numbers on identical seeds. Residual adds are local
+// (§3.2.2); the layer norms all-reduce their row statistics.
+type Block struct {
+	H int
+
+	Attn *Attention
+	Ln1  *LayerNorm
+	Mlp  *MLP
+	Ln2  *LayerNorm
+}
+
+// NewBlock draws parameters from rng in the order Attn(Wq,Wk,Wv,Wo),
+// MLP(Fc1,Fc2) — identical to nn.NewBlock.
+func NewBlock(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Block {
+	return &Block{
+		H:    h,
+		Attn: NewAttention(p, h, heads, seqLen, rng),
+		Ln1:  NewLayerNorm(p, h),
+		Mlp:  NewMLP(p, h, rng),
+		Ln2:  NewLayerNorm(p, h),
+	}
+}
+
+// NewBlockPhantom builds the shape-only variant for paper-scale timing.
+func NewBlockPhantom(p *Proc, h, heads, seqLen int) *Block {
+	return &Block{
+		H:    h,
+		Attn: NewAttentionPhantom(p, h, heads, seqLen),
+		Ln1:  NewLayerNorm(p, h),
+		Mlp:  NewMLPPhantom(p, h),
+		Ln2:  NewLayerNorm(p, h),
+	}
+}
+
+// Params returns the shards this processor owns.
+func (b *Block) Params() []*nn.Param {
+	return append(b.Attn.Params(), b.Mlp.Params()...)
+}
+
+// Forward computes z = LN₂(y + MLP(y)) with y = LN₁(x + Attn(x)) on local
+// blocks.
+func (b *Block) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	y := b.Ln1.Forward(p, compute.Add(p.W, x, b.Attn.Forward(p, x)))
+	return b.Ln2.Forward(p, compute.Add(p.W, y, b.Mlp.Forward(p, y)))
+}
+
+// Backward propagates through the block.
+func (b *Block) Backward(p *Proc, dz *tensor.Matrix) *tensor.Matrix {
+	dr2 := b.Ln2.Backward(p, dz)
+	dy := compute.Add(p.W, dr2, b.Mlp.Backward(p, dr2))
+	dr1 := b.Ln1.Backward(p, dy)
+	return compute.Add(p.W, dr1, b.Attn.Backward(p, dr1))
+}

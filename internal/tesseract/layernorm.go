@@ -1,0 +1,77 @@
+package tesseract
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalises each activation row across the full hidden dimension
+// while the row is physically split across the q processors of a grid row.
+// Following §3.2.2, every processor computes the local partial sums of X and
+// X², an all-reduce along the grid row produces E[X] and E[X²] (Eq. 13), and
+// the normalisation then proceeds locally. The backward pass is Eq. 14 with
+// the two row-wide sums (Σ x̂·dŷ and Σ dŷ) obtained by the same row
+// all-reduce. Depth layers hold disjoint block rows, so no depth
+// communication is needed.
+type LayerNorm struct {
+	H   int // full hidden width
+	Eps float64
+
+	xhat   *tensor.Matrix
+	invstd *tensor.Matrix
+}
+
+// NewLayerNorm builds a distributed LayerNorm over hidden width h.
+func NewLayerNorm(p *Proc, h int) *LayerNorm {
+	if h%p.Shape.Q != 0 {
+		panic(fmt.Sprintf("tesseract: LayerNorm width %d not divisible by q=%d", h, p.Shape.Q))
+	}
+	return &LayerNorm{H: h, Eps: 1e-5}
+}
+
+// Params returns nil: Eq. 13 normalisation is parameter-free.
+func (l *LayerNorm) Params() []*nn.Param { return nil }
+
+// Forward normalises the local block x of shape [m̂, H/q].
+func (l *LayerNorm) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	stats := rowStats(p, x, tensor.Mul(x, x))
+	n := float64(l.H)
+	mean := tensor.Scale(1/n, stats[0])
+	meanSq := tensor.Scale(1/n, stats[1])
+	variance := tensor.Sub(meanSq, tensor.Mul(mean, mean))
+	inv := tensor.Apply(variance, func(v float64) float64 { return 1 / math.Sqrt(v+l.Eps) })
+	p.W.Compute(float64(x.Size()) * compute.FlopsPerNorm)
+	xhat := tensor.MulColVector(tensor.SubColVector(x, mean), inv)
+	l.xhat = xhat
+	l.invstd = inv
+	return xhat
+}
+
+// Backward applies Eq. 14 to the local gradient block dy.
+func (l *LayerNorm) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	stats := rowStats(p, tensor.Mul(dy, l.xhat), dy)
+	n := float64(l.H)
+	dotXhat := tensor.Scale(1/n, stats[0])
+	sumDy := tensor.Scale(1/n, stats[1])
+	p.W.Compute(float64(dy.Size()) * compute.FlopsPerNorm)
+	term := tensor.Sub(dy, tensor.MulColVector(l.xhat, dotXhat))
+	term = tensor.SubColVector(term, sumDy)
+	return tensor.MulColVector(term, l.invstd)
+}
+
+// rowStats all-reduces the per-row sums of two local matrices along the grid
+// row in a single fused [m̂, 2] message, as the paper suggests for the X/X²
+// pair.
+func rowStats(p *Proc, a, b *tensor.Matrix) [2]*tensor.Matrix {
+	p.W.Compute(float64(a.Size()+b.Size()) * compute.FlopsPerAdd)
+	packed := tensor.HCat(tensor.RowSums(a), tensor.RowSums(b))
+	red := p.Row.AllReduce(p.W, packed)
+	if red.Phantom() {
+		return [2]*tensor.Matrix{tensor.NewPhantom(a.Rows, 1), tensor.NewPhantom(b.Rows, 1)}
+	}
+	return [2]*tensor.Matrix{red.SubMatrix(0, 0, red.Rows, 1), red.SubMatrix(0, 1, red.Rows, 1)}
+}

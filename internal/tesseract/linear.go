@@ -1,0 +1,122 @@
+package tesseract
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Linear is a Tesseract-parallel fully connected layer. The weight is
+// B-distributed ([In/q, Out/q] per processor, replicated across depth); the
+// bias, following §3.2.2, lives on grid row 0 and is broadcast down each
+// column in the forward pass, with gradients reduced back to row 0 in the
+// backward pass. An optional GELU is fused, as in the Transformer MLP.
+//
+// The backward pass applies Eq. 3: dX = dY·Wᵀ via MulABT and dW = Xᵀ·dY via
+// MulATB followed by the depth all-reduce of §3.1, so the d weight replicas
+// stay bit-identical across training steps.
+type Linear struct {
+	In, Out int
+	Act     nn.Activation
+
+	W *nn.Param // local [In/q, Out/q]
+	B *nn.Param // [1, Out/q] on grid row 0, nil elsewhere
+
+	hasBias bool // configuration flag, identical on every processor
+
+	x   *tensor.Matrix
+	pre *tensor.Matrix
+}
+
+// NewLinear draws the full Xavier weight from rng (consuming exactly the
+// same stream as nn.NewLinear) and keeps only the local shard. All
+// processors must call it collectively with identically seeded RNGs.
+func NewLinear(p *Proc, in, out int, act nn.Activation, bias bool, rng *tensor.RNG) *Linear {
+	full := tensor.XavierMatrix(in, out, rng)
+	return newLinearFromGlobal(p, full, act, bias)
+}
+
+// newLinearFromGlobal shards a replicated global weight. The fused QKV
+// projection uses it with a column-permuted weight.
+func newLinearFromGlobal(p *Proc, full *tensor.Matrix, act nn.Activation, bias bool) *Linear {
+	l := &Linear{In: full.Rows, Out: full.Cols, Act: act, hasBias: bias}
+	l.W = nn.NewParam("tesseract.linear.w", p.DistributeB(full))
+	if bias {
+		l.B = biasParam(p, full.Cols, full.Phantom())
+	}
+	return l
+}
+
+// NewLinearPhantom builds a shape-only layer for paper-scale timing runs.
+func NewLinearPhantom(p *Proc, in, out int, act nn.Activation, bias bool) *Linear {
+	br, bc := p.BBlockShape(in, out)
+	l := &Linear{In: in, Out: out, Act: act, hasBias: bias}
+	l.W = nn.NewParam("tesseract.linear.w", tensor.NewPhantom(br, bc))
+	if bias {
+		l.B = biasParam(p, out, true)
+	}
+	return l
+}
+
+func biasParam(p *Proc, out int, phantom bool) *nn.Param {
+	if p.I != 0 {
+		return nil
+	}
+	cols := out / p.Shape.Q
+	if phantom {
+		return nn.NewParam("tesseract.linear.b", tensor.NewPhantom(1, cols))
+	}
+	return nn.NewParam("tesseract.linear.b", tensor.New(1, cols))
+}
+
+// Params returns the parameter shards this processor owns.
+func (l *Linear) Params() []*nn.Param {
+	if l.B == nil {
+		return []*nn.Param{l.W}
+	}
+	return []*nn.Param{l.W, l.B}
+}
+
+// Forward computes the local output block for a local A-distributed input x.
+func (l *Linear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In/p.Shape.Q {
+		panic(fmt.Sprintf("tesseract: Linear forward block %dx%d through %d->%d on q=%d",
+			x.Rows, x.Cols, l.In, l.Out, p.Shape.Q))
+	}
+	l.x = x
+	y := p.MatMulAB(x, l.W.Value)
+	if l.hasBias {
+		var payload *tensor.Matrix
+		if p.I == 0 {
+			payload = l.B.Value
+		}
+		bias := p.Col.Broadcast(p.W, p.ColRank(0), payload)
+		y = compute.AddRowVector(p.W, y, bias)
+	}
+	l.pre = y
+	if l.Act == nn.ActGELU {
+		return compute.GELU(p.W, y)
+	}
+	return y
+}
+
+// Backward accumulates dW (and dB) and returns the local input-gradient
+// block.
+func (l *Linear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	if l.Act == nn.ActGELU {
+		dy = compute.Mul(p.W, dy, compute.GELUGrad(p.W, l.pre))
+	}
+	gw := p.MatMulATB(l.x, dy)
+	l.W.AccumGrad(gw)
+	if l.hasBias {
+		db := compute.ColSums(p.W, dy)
+		r := p.Col.Reduce(p.W, p.ColRank(0), db)
+		if p.I == 0 {
+			r = p.Depth.AllReduce(p.W, r)
+			l.B.AccumGrad(r)
+		}
+	}
+	return p.MatMulABT(dy, l.W.Value)
+}

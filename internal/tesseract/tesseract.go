@@ -1,0 +1,116 @@
+// Package tesseract implements the paper's contribution: 2.5-D tensor
+// parallelism for matrix multiplication and Transformer layers on a
+// [q, q, d] processor mesh (Algorithm 3, §3).
+//
+// Layout (Figure 4): an activation matrix A ∈ [a, b] is split into d·q²
+// blocks of [a/(dq), b/q]; processor (i, j, k) holds block row h = i + k·q,
+// block column j. A parameter matrix B ∈ [b, c] is split into q² blocks of
+// [b/q, c/q], with one replica per depth layer. Each depth layer runs an
+// independent SUMMA over its q×q grid; parameter gradients are all-reduced
+// across the depth fibre so the replicas stay identical (§3.1).
+//
+// Setting d = 1 recovers the 2-D SUMMA scheme (Optimus); d = q is the 3-D
+// special case. Setting q = d = 1 gives a serial execution, which the weak
+// scaling experiment's single-GPU row uses.
+package tesseract
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/mesh"
+	"repro/internal/summa"
+	"repro/internal/tensor"
+)
+
+// Proc is one processor's view of a Tesseract mesh. It embeds the mesh
+// bookkeeping (coordinates and communicator groups).
+type Proc struct {
+	*mesh.Proc
+}
+
+// NewProc attaches the calling worker to a [q, q, d] mesh based at rank 0.
+func NewProc(w *dist.Worker, q, d int) *Proc {
+	return NewProcAt(w, mesh.Shape{Q: q, D: d})
+}
+
+// NewProcAt attaches the calling worker to an arbitrary mesh shape (used
+// when composing with data or pipeline parallelism, Figure 6).
+func NewProcAt(w *dist.Worker, s mesh.Shape) *Proc {
+	return &Proc{Proc: mesh.NewProc(w, s)}
+}
+
+// MatMulAB computes C = A·B (Algorithm 3). a is the caller's A-distributed
+// block, b the caller's B-distributed parameter block; the result is
+// A-distributed like a.
+func (p *Proc) MatMulAB(a, b *tensor.Matrix) *tensor.Matrix {
+	return summa.MulAB(p.Proc, a, b)
+}
+
+// MatMulABT computes C = A·Bᵀ (the activation-gradient product A' = C'·Bᵀ of
+// Eq. 3). The result is A-distributed.
+func (p *Proc) MatMulABT(a, b *tensor.Matrix) *tensor.Matrix {
+	return summa.MulABT(p.Proc, a, b)
+}
+
+// MatMulATB computes C = Aᵀ·B (the parameter-gradient product B' = Aᵀ·C' of
+// Eq. 3) and all-reduces the result across the depth fibre, per §3.1: each
+// layer contributes the partial sum over its own block rows, and the d
+// replicas must agree.
+func (p *Proc) MatMulATB(a, b *tensor.Matrix) *tensor.Matrix {
+	partial := summa.MulATB(p.Proc, a, b)
+	return p.Depth.AllReduce(p.W, partial)
+}
+
+// DistributeA slices a replicated global activation matrix into this
+// processor's A block (Figure 4a).
+func (p *Proc) DistributeA(global *tensor.Matrix) *tensor.Matrix {
+	return summa.DistributeA(p.Proc, global)
+}
+
+// DistributeB slices a replicated global parameter matrix into this
+// processor's B block (Figure 4b); every depth layer receives a replica.
+func (p *Proc) DistributeB(global *tensor.Matrix) *tensor.Matrix {
+	return summa.DistributeB(p.Proc, global)
+}
+
+// CollectA reassembles an A-distributed matrix on every processor
+// (Figure 4c). Intended for tests, model heads and example programs; the
+// training loop itself never materialises global activations.
+func (p *Proc) CollectA(local *tensor.Matrix) *tensor.Matrix {
+	return summa.CollectA(p.Proc, local)
+}
+
+// CollectB reassembles a B-distributed matrix on every processor of the
+// caller's layer.
+func (p *Proc) CollectB(local *tensor.Matrix) *tensor.Matrix {
+	return summa.CollectB(p.Proc, local)
+}
+
+// ABlockShape returns the local A-block shape for a global [rows, cols]
+// activation matrix.
+func (p *Proc) ABlockShape(rows, cols int) (int, int) {
+	q, d := p.Shape.Q, p.Shape.D
+	if rows%(q*d) != 0 || cols%q != 0 {
+		panic(fmt.Sprintf("tesseract: global %dx%d not divisible by mesh [%d,%d,%d]", rows, cols, q, q, d))
+	}
+	return rows / (q * d), cols / q
+}
+
+// BBlockShape returns the local B-block shape for a global [rows, cols]
+// parameter matrix.
+func (p *Proc) BBlockShape(rows, cols int) (int, int) {
+	q := p.Shape.Q
+	if rows%q != 0 || cols%q != 0 {
+		panic(fmt.Sprintf("tesseract: parameter %dx%d not divisible by q=%d", rows, cols, q))
+	}
+	return rows / q, cols / q
+}
+
+// Transfers returns the paper's closed-form transfer count for Tesseract in
+// the d = q (3-D) configuration: 2p^{2/3} (§3.1).
+func Transfers(p int) float64 {
+	c := math.Cbrt(float64(p))
+	return 2 * c * c
+}

@@ -1,0 +1,128 @@
+package vit
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// DistModel is the Tesseract-parallel ViT. The patch embedding and the
+// encoder stack are fully distributed (A-distributed activations,
+// B-distributed weights); the tiny classification head is computed
+// redundantly on every processor from the all-gathered pooled features —
+// the standard treatment for heads whose cost is negligible, which keeps
+// the head parameters replicated and bit-identical across processors.
+type DistModel struct {
+	Config ModelConfig
+
+	Embed  *tesseract.Linear
+	Pos    *tensor.Matrix // full [s, hidden]; sliced locally on use
+	Blocks []*tesseract.Block
+	Head   *nn.Linear // replicated
+
+	batch  int
+	pooled *tensor.Matrix // replicated [b, hidden]
+}
+
+// NewDistModel draws parameters from the same stream as NewModel, so the
+// distributed weights shard the serial model's weights exactly.
+func NewDistModel(p *tesseract.Proc, cfg ModelConfig) *DistModel {
+	q := p.Shape.Q
+	if cfg.PatchDim%q != 0 || cfg.Hidden%q != 0 || cfg.Heads%q != 0 {
+		panic(fmt.Sprintf("vit: config (patchDim=%d hidden=%d heads=%d) not divisible by q=%d",
+			cfg.PatchDim, cfg.Hidden, cfg.Heads, q))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &DistModel{Config: cfg, Pos: cfg.Positional()}
+	m.Embed = tesseract.NewLinear(p, cfg.PatchDim, cfg.Hidden, nn.ActNone, true, rng)
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, tesseract.NewBlock(p, cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
+	}
+	m.Head = nn.NewLinear(cfg.Hidden, cfg.Classes, nn.ActNone, true, rng)
+	return m
+}
+
+// Params returns this processor's parameter shards plus the replicated head.
+func (m *DistModel) Params() []*nn.Param {
+	out := m.Embed.Params()
+	for _, b := range m.Blocks {
+		out = append(out, b.Params()...)
+	}
+	return append(out, m.Head.Params()...)
+}
+
+// Forward maps the local token block [b·s/(dq), patchDim/q] to replicated
+// logits [b, classes].
+func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix {
+	s := m.Config.SeqLen
+	h := m.Embed.Forward(p, x)
+	h = m.addPositionalLocal(p, h)
+	for _, b := range m.Blocks {
+		h = b.Forward(p, h)
+	}
+	p.W.Compute(float64(h.Size()))
+	pooledLocal := meanPool(h, s)
+	// Gather the pooled features: columns along the grid row, sequence
+	// blocks along the slab — afterwards every processor holds the full
+	// [b, hidden] matrix, identically.
+	rowParts := p.Row.AllGather(p.W, pooledLocal)
+	wide := tensor.HCat(rowParts...)
+	slabParts := p.Slab.AllGather(p.W, wide)
+	m.pooled = tensor.VCat(slabParts...)
+	m.batch = m.pooled.Rows
+	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
+	return m.Head.Forward(m.pooled)
+}
+
+// Backward takes the replicated dLogits and propagates to all shards.
+func (m *DistModel) Backward(p *tesseract.Proc, dlogits *tensor.Matrix) {
+	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
+	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Hidden), float64(m.Config.Classes))
+	dpooled := m.Head.Backward(dlogits) // replicated [b, hidden]
+
+	// Slice this processor's sequences and hidden columns back out.
+	s := m.Config.SeqLen
+	q, d := p.Shape.Q, p.Shape.D
+	nseqLocal := m.batch / (q * d)
+	hq := m.Config.Hidden / q
+	local := dpooled.SubMatrix(p.BlockRow()*nseqLocal, p.J*hq, nseqLocal, hq)
+	dh := meanPoolBackward(local, s)
+	p.W.Compute(float64(dh.Size()))
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		dh = m.Blocks[i].Backward(p, dh)
+	}
+	m.Embed.Backward(p, dh)
+}
+
+// addPositionalLocal adds the local slice of the fixed positional encoding:
+// local row r is sequence position r mod s; local columns are the J-th
+// hidden block.
+func (m *DistModel) addPositionalLocal(p *tesseract.Proc, h *tensor.Matrix) *tensor.Matrix {
+	s := m.Config.SeqLen
+	hq := m.Config.Hidden / p.Shape.Q
+	posLocal := m.Pos.SubMatrix(0, p.J*hq, s, hq)
+	p.W.Compute(float64(h.Size()) * compute.FlopsPerAdd)
+	out := h.Clone()
+	for r := 0; r < h.Rows; r++ {
+		prow := posLocal.Row(r % s)
+		orow := out.Row(r)
+		for j := range orow {
+			orow[j] += prow[j]
+		}
+	}
+	return out
+}
+
+// DistributeBatch slices a global token matrix [b·s, patchDim] into this
+// processor's A block. Whole sequences land on one processor, which requires
+// b to divide by d·q.
+func DistributeBatch(p *tesseract.Proc, x *tensor.Matrix, s int) *tensor.Matrix {
+	b := x.Rows / s
+	if b%(p.Shape.Q*p.Shape.D) != 0 {
+		panic(fmt.Sprintf("vit: batch %d not divisible by d*q = %d", b, p.Shape.Q*p.Shape.D))
+	}
+	return p.DistributeA(x)
+}

@@ -1,0 +1,171 @@
+package vit
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// TrainConfig controls a Figure 7 training run. The paper uses Adam with
+// learning rate 0.003 and weight decay 0.3 for 300 epochs on ImageNet-100;
+// our synthetic task converges in a handful of epochs, so the defaults are
+// scaled down while keeping the optimiser settings.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	WeightDecay float64
+	Seed        uint64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.LR == 0 {
+		c.LR = 0.003
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// History records one curve of Figure 7.
+type History struct {
+	Setting  string
+	Loss     []float64 // mean training loss per epoch
+	TrainAcc []float64
+	TestAcc  []float64
+}
+
+// epochOrder returns the deterministic sample order for one epoch; serial
+// and distributed runs share it so their curves are directly comparable.
+func epochOrder(n int, epoch int, seed uint64) []int {
+	rng := tensor.NewRNG(seed + uint64(epoch)*1000003)
+	return rng.Perm(n)
+}
+
+// TrainSerial trains the reference model and returns its curve.
+func TrainSerial(ds *Dataset, mcfg ModelConfig, tc TrainConfig) History {
+	tc = tc.withDefaults()
+	model := NewModel(mcfg)
+	opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+	hist := History{Setting: "serial"}
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		order := epochOrder(len(ds.Train), epoch, tc.Seed)
+		var lossSum float64
+		var correct, seen int
+		for start := 0; start+tc.BatchSize <= len(order); start += tc.BatchSize {
+			x, labels := ds.Batch(ds.Train, order[start:start+tc.BatchSize])
+			logits := model.Forward(x)
+			loss, dlogits := nn.CrossEntropy(logits, labels)
+			lossSum += loss
+			correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+			seen += len(labels)
+			for _, p := range model.Params() {
+				p.ZeroGrad()
+			}
+			model.Backward(dlogits)
+			opt.Step(model.Params())
+		}
+		steps := len(order) / tc.BatchSize
+		hist.Loss = append(hist.Loss, lossSum/float64(steps))
+		hist.TrainAcc = append(hist.TrainAcc, float64(correct)/float64(seen))
+		hist.TestAcc = append(hist.TestAcc, evalSerial(model, ds, tc.BatchSize))
+	}
+	return hist
+}
+
+func evalSerial(model *Model, ds *Dataset, batch int) float64 {
+	var correct, seen int
+	for start := 0; start+batch <= len(ds.Test); start += batch {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Batch(ds.Test, idx)
+		logits := model.Forward(x)
+		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+		seen += len(labels)
+	}
+	if seen == 0 {
+		return 0
+	}
+	return float64(correct) / float64(seen)
+}
+
+// TrainTesseract trains the same model under a [q, q, d] Tesseract mesh and
+// returns its curve. With the same dataset, seeds and optimiser the curve
+// must coincide with TrainSerial's up to floating-point reduction order —
+// the Figure 7 claim.
+func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (History, error) {
+	tc = tc.withDefaults()
+	if tc.BatchSize%(q*d) != 0 {
+		return History{}, fmt.Errorf("vit: batch %d not divisible by d*q = %d", tc.BatchSize, q*d)
+	}
+	c := dist.New(dist.Config{WorldSize: q * q * d})
+	hist := History{Setting: fmt.Sprintf("[%d,%d,%d]", q, q, d)}
+	s := mcfg.SeqLen
+	err := c.Run(func(w *dist.Worker) error {
+		p := tesseract.NewProc(w, q, d)
+		model := NewDistModel(p, mcfg)
+		opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+		for epoch := 0; epoch < tc.Epochs; epoch++ {
+			order := epochOrder(len(ds.Train), epoch, tc.Seed)
+			var lossSum float64
+			var correct, seen int
+			for start := 0; start+tc.BatchSize <= len(order); start += tc.BatchSize {
+				x, labels := ds.Batch(ds.Train, order[start:start+tc.BatchSize])
+				logits := model.Forward(p, DistributeBatch(p, x, s))
+				loss, dlogits := nn.CrossEntropy(logits, labels)
+				lossSum += loss
+				correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+				seen += len(labels)
+				for _, pa := range model.Params() {
+					pa.ZeroGrad()
+				}
+				model.Backward(p, dlogits)
+				opt.Step(model.Params())
+			}
+			if w.Rank() == 0 {
+				steps := len(order) / tc.BatchSize
+				hist.Loss = append(hist.Loss, lossSum/float64(steps))
+				hist.TrainAcc = append(hist.TrainAcc, float64(correct)/float64(seen))
+			}
+			acc := evalDist(p, model, ds, tc.BatchSize, s)
+			if w.Rank() == 0 {
+				hist.TestAcc = append(hist.TestAcc, acc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return History{}, err
+	}
+	return hist, nil
+}
+
+func evalDist(p *tesseract.Proc, model *DistModel, ds *Dataset, batch, s int) float64 {
+	var correct, seen int
+	for start := 0; start+batch <= len(ds.Test); start += batch {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Batch(ds.Test, idx)
+		logits := model.Forward(p, DistributeBatch(p, x, s))
+		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+		seen += len(labels)
+	}
+	if seen == 0 {
+		return 0
+	}
+	return float64(correct) / float64(seen)
+}
