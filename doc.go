@@ -20,6 +20,54 @@
 //   - internal/claims     — the paper's closed-form formulas (Eqs. 1-10, §3.1)
 //   - internal/tables     — harness regenerating Tables 1-2 and the studies
 //
+// # The dist runtime
+//
+// internal/dist simulates the cluster in-process: one goroutine per rank,
+// started by Cluster.Run, with MPI-style groups built from explicit rank
+// lists (w.Cluster().Group(ranks...)). Rank layout follows the mesh
+// convention rank = base + k·q² + i·q + j (layer-major), so a mesh row —
+// the group SUMMA broadcasts its A panels over — occupies consecutive
+// ranks, while columns and depth fibres stride across nodes. A group's
+// rank list is its canonical order: AllGather returns blocks in it, which
+// is what lets CollectA reassemble block rows h = i + k·q by walking the
+// slab group.
+//
+// Collectives (AllReduce, AllGather, Broadcast, Reduce, Barrier) move
+// pointers, not bytes. Reductions run over binomial trees whose partial
+// sums execute on the member goroutines (deterministic association, so
+// parameter replicas stay bit-identical); broadcasts and gathers share
+// immutable snapshots. A failed or panicking worker aborts the whole
+// cluster: peers blocked mid-collective unwind and Run returns an error
+// naming the rank.
+//
+// # Phantom mode and the cost model
+//
+// Every collective and compute charge is priced by dist.CostModel — α
+// per-message latency, separate per-byte β for intra-node (NVLink-class)
+// and inter-node (InfiniBand-class) links chosen by the slowest link a
+// group spans, and a FLOPS rate for the arithmetic. MeluxinaModel is the
+// preset for the paper's testbed (4×A100 nodes). Costs depend only on
+// shapes and topology, never on data or scheduling, so a run over phantom
+// (shape-only) tensors advances exactly the simulated clocks of the real
+// execution while doing no arithmetic and moving no bytes. internal/tables
+// exploits this: each Table 1/2 row runs the full communication schedule
+// at the paper's true sizes (hidden 2048-8192, 64 GPUs) in milliseconds of
+// wall time, resets the clocks between the forward and backward phases,
+// and reads the simulated seconds back off Cluster.MaxClock — that is how
+// the tables, the §1 transmission-count claim, and the depth ablation are
+// regenerated. The same layer code runs on real data at small sizes, where
+// the phantom/real clock equality is asserted by tests.
+//
+// # GEMM kernels
+//
+// internal/tensor's MatMul/MatMulNT/MatMulTN are cache-blocked and
+// vectorised (AVX2 on amd64, detected at run time) and split the output
+// rows across goroutines above a size threshold — while remaining bitwise
+// identical to the naive reference kernels at every size and band count,
+// because every output element accumulates in the same order with the
+// same individually-rounded operations. The naive kernels are kept in
+// naive.go as the correctness oracle and benchmark baseline.
+//
 // The benchmarks in bench_test.go regenerate every table and figure; the
 // binaries under cmd/ print them; the programs under examples/ show the API.
 // See README.md, DESIGN.md, and EXPERIMENTS.md.

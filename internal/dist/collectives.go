@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Broadcast distributes the root's payload to every member and returns it.
+// root is a cluster rank that must belong to the group; non-root callers
+// pass payload == nil. The root snapshots the payload once; every member
+// then shares that immutable snapshot zero-copy, so the root is free to
+// mutate its original (an optimiser step on a broadcast weight) while slow
+// peers are still reading. Results are read-only by convention.
+func (g *Group) Broadcast(w *Worker, root int, payload *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "broadcast")
+	ridx := g.Index(root)
+	if ridx < 0 {
+		panic(fmt.Sprintf("dist: broadcast root %d outside group %v", root, g.ranks))
+	}
+	if payload != nil && len(g.ranks) > 1 {
+		payload = payload.Clone()
+	}
+	r := g.rendezvous(w, "broadcast", root, idx, payload, func(r *round) {
+		m := r.slots[ridx]
+		if m == nil {
+			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", root))
+		}
+		n := len(g.ranks)
+		bytes := matrixBytes(m)
+		r.result = m
+		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record("broadcast", int64(n-1), int64(n-1)*bytes)
+	})
+	return r.result
+}
+
+// Reduce sums every member's matrix onto the root: the root receives an
+// owned buffer it may mutate, every other member receives nil. The
+// summation runs over a binomial tree, so the partial additions execute on
+// the member goroutines in a fixed, schedule-independent association.
+func (g *Group) Reduce(w *Worker, root int, m *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "reduce")
+	ridx := g.Index(root)
+	if ridx < 0 {
+		panic(fmt.Sprintf("dist: reduce root %d outside group %v", root, g.ranks))
+	}
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to reduce", w.rank))
+	}
+	sum := g.treeReduce(w, idx, ridx, m)
+	g.rendezvous(w, "reduce", root, idx, m, func(r *round) {
+		n := len(g.ranks)
+		bytes := matrixBytes(r.slots[ridx])
+		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record("reduce", int64(n-1), int64(n-1)*bytes)
+	})
+	return sum
+}
+
+// AllReduce sums every member's matrix and hands each member its own owned
+// copy of the result (callers may mutate it; the replicas are bit-identical
+// because one sum is computed once, then cloned). Time is charged as a
+// bandwidth-optimal ring; the data path is a reduce tree followed by a
+// broadcast tree over the same edges.
+func (g *Group) AllReduce(w *Worker, m *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "allreduce")
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to allreduce", w.rank))
+	}
+	out := g.treeReduce(w, idx, 0, m)
+	if shared := g.treeBcast(w, idx, 0, out); out == nil {
+		out = shared.Clone()
+	}
+	g.rendezvous(w, "allreduce", -1, idx, m, func(r *round) {
+		n := len(g.ranks)
+		bytes := matrixBytes(r.slots[idx])
+		r.newClock = maxClock(r.clocks) + g.c.cost.allReduceTime(n, bytes, g.beta)
+		g.c.stats.record("allreduce", 2*int64(n-1), 2*int64(n-1)*bytes)
+	})
+	return out
+}
+
+// AllGather returns every member's matrix in the group's canonical order.
+// Each member snapshots its own block once at entry; the n members then
+// share the n immutable snapshots (read-only by convention) instead of
+// paying n−1 copies each. The returned slice itself is private.
+func (g *Group) AllGather(w *Worker, m *tensor.Matrix) []*tensor.Matrix {
+	idx := g.mustIndex(w, "allgather")
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to allgather", w.rank))
+	}
+	if len(g.ranks) > 1 {
+		m = m.Clone()
+	}
+	r := g.rendezvous(w, "allgather", -1, idx, m, func(r *round) {
+		n := len(g.ranks)
+		var sum, max int64
+		for _, s := range r.slots {
+			b := matrixBytes(s)
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		r.newClock = maxClock(r.clocks) + g.c.cost.allGatherTime(n, max, g.beta)
+		g.c.stats.record("allgather", int64(n)*int64(n-1), int64(n-1)*sum)
+	})
+	out := make([]*tensor.Matrix, len(r.slots))
+	copy(out, r.slots)
+	return out
+}
+
+// Barrier blocks until every member arrives, then advances all clocks to
+// the common post-barrier time. It moves no payload.
+func (g *Group) Barrier(w *Worker) {
+	idx := g.mustIndex(w, "barrier")
+	g.rendezvous(w, "barrier", -1, idx, nil, func(r *round) {
+		r.newClock = maxClock(r.clocks) + g.c.cost.barrierTime(len(g.ranks))
+		g.c.stats.record("barrier", 0, 0)
+	})
+}

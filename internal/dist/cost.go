@@ -1,0 +1,102 @@
+package dist
+
+import "math"
+
+// CostModel is the α–β machine model the simulated clocks run on. All times
+// are seconds, all sizes bytes.
+type CostModel struct {
+	// FLOPS is the per-GPU dense floating-point throughput (flop/s) that
+	// Worker.Compute and Worker.ChargeGEMM divide by.
+	FLOPS float64
+	// Alpha is the fixed per-message launch latency.
+	Alpha float64
+	// BetaIntra is the per-byte transfer cost between GPUs on one node
+	// (NVLink-class links).
+	BetaIntra float64
+	// BetaInter is the per-byte transfer cost between GPUs on different
+	// nodes (InfiniBand-class links, shared by the node's GPUs).
+	BetaInter float64
+}
+
+// MeluxinaModel returns the preset for the paper's testbed: Meluxina
+// (EuroHPC) nodes with four A100s each. FLOPS is the A100 tensor-core
+// half-precision peak derated to a realistic GEMM efficiency; the intra
+// rate is NVLink3, the inter rate is the node's HDR InfiniBand divided
+// across its four GPUs.
+func MeluxinaModel() CostModel {
+	return CostModel{
+		FLOPS:     312e12 * 0.8,  // A100 fp16 peak × sustained efficiency
+		Alpha:     2e-6,          // collective launch latency
+		BetaIntra: 1.0 / 250e9,   // NVLink3 effective per direction
+		BetaInter: 1.0 / 6.25e9,  // 200 Gb/s HDR shared by 4 GPUs
+	}
+}
+
+// withDefaults substitutes the Meluxina preset for a zero model so that
+// dist.New(dist.Config{WorldSize: n}) charges sane times out of the box.
+func (m CostModel) withDefaults() CostModel {
+	if m.FLOPS == 0 {
+		return MeluxinaModel()
+	}
+	return m
+}
+
+// treeSteps is ⌈log₂ n⌉, the depth of a binomial tree over n ranks.
+func treeSteps(n int) float64 {
+	steps := 0
+	for span := 1; span < n; span <<= 1 {
+		steps++
+	}
+	return float64(steps)
+}
+
+// broadcastTime prices a binomial-tree broadcast (or reduce) of b bytes.
+func (m CostModel) broadcastTime(n int, b int64, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return treeSteps(n) * (m.Alpha + float64(b)*beta)
+}
+
+// allReduceTime prices a bandwidth-optimal ring all-reduce of b bytes:
+// 2(n−1) steps each moving B/n bytes (reduce-scatter + all-gather).
+func (m CostModel) allReduceTime(n int, b int64, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	nf := float64(n)
+	return 2 * (nf - 1) * (m.Alpha + float64(b)/nf*beta)
+}
+
+// allGatherTime prices a ring all-gather where every member contributes b
+// bytes: n−1 steps each forwarding one member block.
+func (m CostModel) allGatherTime(n int, b int64, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return (float64(n) - 1) * (m.Alpha + float64(b)*beta)
+}
+
+// barrierTime prices a tree barrier (latency only).
+func (m CostModel) barrierTime(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return treeSteps(n) * m.Alpha
+}
+
+// sendTime prices one point-to-point transfer of b bytes.
+func (m CostModel) sendTime(b int64, beta float64) float64 {
+	return m.Alpha + float64(b)*beta
+}
+
+// maxClock returns the largest clock in a contribution slice.
+func maxClock(clocks []float64) float64 {
+	out := math.Inf(-1)
+	for _, c := range clocks {
+		if c > out {
+			out = c
+		}
+	}
+	return out
+}

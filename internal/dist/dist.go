@@ -1,0 +1,204 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// WorldSize is the number of ranks (required, ≥ 1).
+	WorldSize int
+	// GPUsPerNode maps ranks to nodes for link pricing: ranks r with equal
+	// r/GPUsPerNode share a node. Zero means 4, as on Meluxina.
+	GPUsPerNode int
+	// Cost is the machine model; the zero value means MeluxinaModel().
+	Cost CostModel
+}
+
+// abortSignal is the panic value collectives raise to unwind a worker whose
+// cluster has aborted; Run's wrapper swallows it.
+type abortSignal struct{}
+
+// Cluster is a set of simulated workers plus their shared plumbing: group
+// cache, point-to-point mailboxes, clocks, statistics and abort state.
+type Cluster struct {
+	cfg     Config
+	cost    CostModel
+	gpn     int
+	workers []*Worker
+
+	groupMu sync.Mutex
+	groups  map[string]*Group
+
+	mail  *mailboxSet
+	stats *statsBook
+
+	abort     chan struct{}
+	abortOnce sync.Once
+	abortErr  error
+}
+
+// New builds a cluster with WorldSize workers. It panics on a non-positive
+// world size; a zero cost model defaults to MeluxinaModel.
+func New(cfg Config) *Cluster {
+	if cfg.WorldSize < 1 {
+		panic(fmt.Sprintf("dist: world size %d", cfg.WorldSize))
+	}
+	gpn := cfg.GPUsPerNode
+	if gpn <= 0 {
+		gpn = 4
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		cost:   cfg.Cost.withDefaults(),
+		gpn:    gpn,
+		groups: make(map[string]*Group),
+		mail:   newMailboxSet(),
+		stats:  newStatsBook(),
+		abort:  make(chan struct{}),
+	}
+	c.workers = make([]*Worker, cfg.WorldSize)
+	for r := range c.workers {
+		c.workers[r] = &Worker{c: c, rank: r}
+	}
+	return c
+}
+
+// WorldSize returns the number of ranks.
+func (c *Cluster) WorldSize() int { return c.cfg.WorldSize }
+
+// node returns the node index of a rank.
+func (c *Cluster) node(rank int) int { return rank / c.gpn }
+
+// Run executes fn once per rank, each invocation on its own goroutine, and
+// waits for all of them. The first worker error or panic (by rank order)
+// becomes Run's error, wrapped so errors.Is sees the cause and the message
+// names the worker; every other worker is unblocked and unwound. After such
+// an abort the cluster is permanently poisoned: subsequent Runs fail fast.
+func (c *Cluster) Run(fn func(w *Worker) error) error {
+	if err := c.abortedErr(); err != nil {
+		return fmt.Errorf("dist: cluster aborted by earlier run: %w", err)
+	}
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, quiet := r.(abortSignal); quiet {
+						return
+					}
+					err := fmt.Errorf("dist: worker %d panicked: %v", w.rank, r)
+					errs[w.rank] = err
+					c.abortWith(err)
+				}
+			}()
+			if err := fn(w); err != nil {
+				wrapped := fmt.Errorf("dist: worker %d failed: %w", w.rank, err)
+				errs[w.rank] = wrapped
+				c.abortWith(wrapped)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortWith poisons the cluster with the first failure and releases every
+// blocked worker.
+func (c *Cluster) abortWith(err error) {
+	c.abortOnce.Do(func() {
+		c.abortErr = err
+		close(c.abort)
+	})
+}
+
+// abortedErr returns the poisoning error, if any.
+func (c *Cluster) abortedErr() error {
+	select {
+	case <-c.abort:
+		return c.abortErr
+	default:
+		return nil
+	}
+}
+
+// checkAbort panics with abortSignal if the cluster has aborted — the
+// unwind path for workers parked inside collectives.
+func (c *Cluster) checkAbort() {
+	select {
+	case <-c.abort:
+		panic(abortSignal{})
+	default:
+	}
+}
+
+// Group returns the communicator over the given cluster ranks, in exactly
+// the given canonical order. Groups are cached: every member calling with
+// the same rank list shares one object (and its channel plumbing). It
+// panics on an empty list, an out-of-range rank, or a duplicate.
+func (c *Cluster) Group(ranks ...int) *Group {
+	if len(ranks) == 0 {
+		panic("dist: empty group")
+	}
+	var key strings.Builder
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.workers) {
+			panic(fmt.Sprintf("dist: group rank %d outside world of %d", r, len(c.workers)))
+		}
+		if i > 0 {
+			key.WriteByte(',')
+		}
+		key.WriteString(strconv.Itoa(r))
+	}
+	c.groupMu.Lock()
+	defer c.groupMu.Unlock()
+	if g, ok := c.groups[key.String()]; ok {
+		return g
+	}
+	g := newGroup(c, ranks)
+	c.groups[key.String()] = g
+	return g
+}
+
+// WorldGroup returns the group spanning every rank in order.
+func (c *Cluster) WorldGroup() *Group {
+	ranks := make([]int, len(c.workers))
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return c.Group(ranks...)
+}
+
+// MaxClock returns the largest simulated clock across ranks, in seconds.
+// Call it between Runs (it does not synchronise with running workers).
+func (c *Cluster) MaxClock() float64 {
+	var out float64
+	for _, w := range c.workers {
+		if w.clock > out {
+			out = w.clock
+		}
+	}
+	return out
+}
+
+// ResetClocks zeroes every worker clock, starting a new timing window while
+// keeping traffic statistics.
+func (c *Cluster) ResetClocks() {
+	for _, w := range c.workers {
+		w.clock = 0
+	}
+}
+
+// Stats returns a snapshot of the accumulated communication statistics.
+func (c *Cluster) Stats() Stats { return c.stats.snapshot() }

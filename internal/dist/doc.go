@@ -1,0 +1,73 @@
+// Package dist is the simulated multi-GPU cluster every algorithm in this
+// repository runs on: a goroutine-per-rank runtime, MPI-style communicator
+// groups with the collectives the paper's schedules need, and an analytic
+// α–β cost model that turns each operation into simulated seconds — so a
+// 64-GPU Table 1 row executes in milliseconds of wall time while reporting
+// the communication cost of the real schedule.
+//
+// # Runtime
+//
+// dist.New(dist.Config{WorldSize: n}) builds a Cluster of n Workers; Run
+// executes one function per rank, each on its own goroutine, and returns
+// once every rank finishes. A worker that returns an error or panics aborts
+// the whole cluster: peers blocked inside collectives unwind immediately
+// and Run reports an error naming the failed rank. An aborted cluster stays
+// aborted (further Runs fail fast); a fresh cluster is the documented
+// recovery. Clocks and traffic statistics persist across Runs so a harness
+// can build a model in one phase and time the next (ResetClocks starts a
+// new timing window).
+//
+// # Groups and collectives
+//
+// Workers build communicators with w.Cluster().Group(ranks...); the rank
+// list is the group's canonical order (AllGather returns blocks in exactly
+// this order, Index maps a cluster rank to its slot). Groups are cached per
+// rank list, so the q² processors of a mesh row share one object and its
+// channel plumbing.
+//
+// Collectives move pointers, not bytes: a Broadcast hands the root's matrix
+// to every member zero-copy (results are read-only by convention), an
+// AllGather shares each contributor's block in place. Reduce and AllReduce
+// run a binomial tree over per-pair channels so the partial additions are
+// spread across the member goroutines instead of funnelling through one
+// rank, and each member's accumulator buffer is reused in place across its
+// subtree arrivals. AllReduce hands every member its own
+// freshly-owned copy of the sum (callers may mutate the result — the data-
+// parallel gradient average does), which also keeps the d depth replicas of
+// a Tesseract parameter bit-identical: one sum is computed once, then
+// cloned.
+//
+// Every collective ends at a rendezvous where the last arriver advances all
+// member clocks to max(clock) + simulated op time and records the operation
+// once in the cluster statistics. Because the simulated cost depends only
+// on shapes and group topology — never on data or goroutine scheduling —
+// phantom-mode runs charge exactly the clock of the real execution, and
+// repeated runs are deterministic.
+//
+// # Cost model
+//
+// CostModel is an α–β machine model: FLOPS (per-GPU dense throughput),
+// Alpha (per-message latency), and separate per-byte costs for intra-node
+// (NVLink-class) and inter-node (InfiniBand-class) links. A group is priced
+// by the slowest link it spans: Config.GPUsPerNode (default 4) maps ranks
+// to nodes, so a Tesseract mesh row (consecutive ranks, one node) is an
+// order of magnitude cheaper than a column or depth fibre (node-strided).
+// MeluxinaModel is the preset for the paper's testbed. The per-op charges:
+//
+//	broadcast/reduce  ⌈log₂ n⌉ · (α + Bβ)      binomial tree
+//	allreduce         2(n−1) · (α + (B/n)β)    bandwidth-optimal ring
+//	allgather         (n−1) · (α + Bβ)         ring, B = per-member block
+//	barrier           ⌈log₂ n⌉ · α
+//	send/recv         α + Bβ                    sender pays; receiver joins
+//
+// Message statistics use the finer-grained pairwise convention documented
+// in internal/tables: broadcast/reduce over n ranks count n−1 block
+// transfers, an all-reduce 2(n−1), an all-gather n(n−1), a send 1.
+//
+// # Phantom mode
+//
+// Collectives propagate shape-only (phantom) matrices without touching
+// data: the tree still runs, the clocks still advance, the statistics still
+// count — which is exactly what lets internal/tables regenerate the paper's
+// tables at hidden sizes no laptop could materialise.
+package dist

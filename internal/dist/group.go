@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Group is a communicator over a fixed, ordered set of cluster ranks. The
+// rank list passed to Cluster.Group is the canonical order: AllGather
+// returns blocks in it, Index maps a cluster rank to its slot. Members must
+// invoke the same sequence of collectives on a group; the runtime checks
+// that concurrent arrivals agree on the operation and root.
+type Group struct {
+	c     *Cluster
+	ranks []int
+	index map[int]int
+	beta  float64 // per-byte cost of the slowest link the group spans
+
+	mail *mailboxSet // tree edges, keyed by group index pairs
+
+	mu  sync.Mutex
+	cur *round
+}
+
+// round is one in-flight collective: a rendezvous that collects every
+// member's clock (and optional payload slot), then lets the last arriver
+// compute the outcome exactly once.
+type round struct {
+	op      string
+	root    int
+	arrived int
+	clocks  []float64
+	slots   []*tensor.Matrix
+	done    chan struct{}
+
+	newClock float64
+	result   *tensor.Matrix
+}
+
+func newGroup(c *Cluster, ranks []int) *Group {
+	g := &Group{
+		c:     c,
+		ranks: append([]int(nil), ranks...),
+		index: make(map[int]int, len(ranks)),
+		beta:  c.cost.BetaIntra,
+		mail:  newMailboxSet(),
+	}
+	for i, r := range g.ranks {
+		if _, dup := g.index[r]; dup {
+			panic(fmt.Sprintf("dist: duplicate rank %d in group %v", r, g.ranks))
+		}
+		g.index[r] = i
+		if c.node(r) != c.node(g.ranks[0]) {
+			g.beta = c.cost.BetaInter
+		}
+	}
+	return g
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the members in canonical order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// Index returns the slot of a cluster rank in the canonical order, or −1
+// if the rank is not a member.
+func (g *Group) Index(rank int) int {
+	if i, ok := g.index[rank]; ok {
+		return i
+	}
+	return -1
+}
+
+// mustIndex resolves the calling worker's slot, panicking for non-members.
+func (g *Group) mustIndex(w *Worker, op string) int {
+	idx, ok := g.index[w.rank]
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d is not a member of group %v (%s)", w.rank, g.ranks, op))
+	}
+	return idx
+}
+
+// rendezvous parks the caller in the current round (creating it on first
+// arrival), runs finish exactly once when the last member arrives, and
+// advances the caller's clock to the agreed post-op time. It unblocks with
+// an abort unwind if the cluster dies while waiting.
+func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot *tensor.Matrix, finish func(r *round)) *round {
+	w.c.checkAbort()
+	g.mu.Lock()
+	r := g.cur
+	if r == nil {
+		r = &round{
+			op:     op,
+			root:   root,
+			clocks: make([]float64, len(g.ranks)),
+			slots:  make([]*tensor.Matrix, len(g.ranks)),
+			done:   make(chan struct{}),
+		}
+		g.cur = r
+	}
+	if r.op != op || r.root != root {
+		g.mu.Unlock()
+		panic(fmt.Sprintf("dist: rank %d joined %s(root %d) while group %v is running %s(root %d)",
+			w.rank, op, root, g.ranks, r.op, r.root))
+	}
+	r.clocks[idx] = w.clock
+	r.slots[idx] = slot
+	r.arrived++
+	last := r.arrived == len(g.ranks)
+	if last {
+		g.cur = nil
+		finish(r)
+		close(r.done)
+	}
+	g.mu.Unlock()
+	if !last {
+		select {
+		case <-r.done:
+		case <-w.c.abort:
+			panic(abortSignal{})
+		}
+	}
+	w.clock = r.newClock
+	return r
+}
+
+// vpos maps a group index to its virtual position in a tree rooted at
+// rootIdx (the root sits at virtual position 0).
+func (g *Group) vpos(idx, rootIdx int) int {
+	n := len(g.ranks)
+	return (idx - rootIdx + n) % n
+}
+
+// rpos inverts vpos.
+func (g *Group) rpos(v, rootIdx int) int {
+	n := len(g.ranks)
+	return (v + rootIdx) % n
+}
+
+// sendEdge / recvEdge move a packet along one tree edge (addressed by group
+// indices). Edge traffic carries no clock: collective time is charged once
+// at the rendezvous.
+func (g *Group) sendEdge(from, to int, p packet) {
+	g.mail.box(from, to).put(p)
+}
+
+func (g *Group) recvEdge(w *Worker, from, to int) packet {
+	p, ok := g.mail.box(from, to).take(w.c.abort)
+	if !ok {
+		panic(abortSignal{})
+	}
+	return p
+}
+
+// treeReduce runs a binomial reduction toward rootIdx. The caller's matrix
+// is never mutated: the first subtree arrival allocates this member's
+// accumulator, which is then reused in place for every further arrival and
+// handed to the parent as the subtree sum. Returns the full sum at the
+// root (always an owned buffer) and nil elsewhere.
+func (g *Group) treeReduce(w *Worker, idx, rootIdx int, m *tensor.Matrix) *tensor.Matrix {
+	n := len(g.ranks)
+	v := g.vpos(idx, rootIdx)
+	acc, owned := m, false
+	for step := 1; step < n; step <<= 1 {
+		if v&step != 0 {
+			g.sendEdge(idx, g.rpos(v-step, rootIdx), packet{m: acc})
+			return nil
+		}
+		if v+step < n {
+			p := g.recvEdge(w, g.rpos(v+step, rootIdx), idx)
+			if owned {
+				tensor.AddInPlace(acc, p.m)
+			} else {
+				acc, owned = tensor.Add(acc, p.m), true
+			}
+		}
+	}
+	if !owned {
+		// n == 1: nothing arrived; hand back an owned copy anyway so every
+		// caller may mutate the result.
+		acc = acc.Clone()
+	}
+	return acc
+}
+
+// treeBcast pushes m down a binomial tree from rootIdx. The root passes the
+// payload; every other member passes nil, receives the shared pointer from
+// its parent and forwards it to its children. Returns the payload.
+func (g *Group) treeBcast(w *Worker, idx, rootIdx int, m *tensor.Matrix) *tensor.Matrix {
+	n := len(g.ranks)
+	if n == 1 {
+		return m
+	}
+	v := g.vpos(idx, rootIdx)
+	top := 1
+	for top < n {
+		top <<= 1
+	}
+	for step := top >> 1; step >= 1; step >>= 1 {
+		switch v % (2 * step) {
+		case 0:
+			if v+step < n {
+				g.sendEdge(idx, g.rpos(v+step, rootIdx), packet{m: m})
+			}
+		case step:
+			m = g.recvEdge(w, g.rpos(v-step, rootIdx), idx).m
+		}
+	}
+	return m
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// packet is one in-flight message: the payload pointer and, for
+// point-to-point sends, the sender's clock at arrival time (group tree
+// edges leave it zero — collective time is charged at the rendezvous).
+type packet struct {
+	m     *tensor.Matrix
+	clock float64
+}
+
+// mailbox is an unbounded FIFO between one (sender, receiver) pair. Sends
+// never block; receives block abort-aware. Unboundedness means schedules
+// like Cannon's "everybody sends, then everybody receives" can never
+// deadlock on channel capacity.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []packet
+	notify chan struct{} // capacity 1: wake-up token for the single receiver
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+// put enqueues a packet and wakes the receiver if it is parked.
+func (b *mailbox) put(p packet) {
+	b.mu.Lock()
+	b.queue = append(b.queue, p)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take dequeues the next packet, blocking until one arrives or the cluster
+// aborts; ok is false on abort.
+func (b *mailbox) take(abort <-chan struct{}) (p packet, ok bool) {
+	for {
+		b.mu.Lock()
+		if len(b.queue) > 0 {
+			p = b.queue[0]
+			b.queue = b.queue[1:]
+			b.mu.Unlock()
+			return p, true
+		}
+		b.mu.Unlock()
+		select {
+		case <-b.notify:
+		case <-abort:
+			return packet{}, false
+		}
+	}
+}
+
+// mailboxSet lazily allocates pair mailboxes keyed by (from, to).
+type mailboxSet struct {
+	mu sync.Mutex
+	m  map[[2]int]*mailbox
+}
+
+func newMailboxSet() *mailboxSet {
+	return &mailboxSet{m: make(map[[2]int]*mailbox)}
+}
+
+func (s *mailboxSet) box(from, to int) *mailbox {
+	key := [2]int{from, to}
+	s.mu.Lock()
+	b := s.m[key]
+	if b == nil {
+		b = newMailbox()
+		s.m[key] = b
+	}
+	s.mu.Unlock()
+	return b
+}

@@ -1,0 +1,60 @@
+package dist
+
+import "sync"
+
+// OpStats aggregates the traffic of one operation kind.
+type OpStats struct {
+	// Calls counts collective invocations (one per group call, however
+	// many ranks participate) or individual sends.
+	Calls int64
+	// Messages counts pairwise block transfers using the convention of
+	// internal/tables: broadcast/reduce over n ranks = n−1, all-reduce =
+	// 2(n−1), all-gather = n(n−1), send = 1.
+	Messages int64
+	// Bytes is the total payload moved by those messages.
+	Bytes int64
+}
+
+// Stats is a snapshot of a cluster's accumulated communication.
+type Stats struct {
+	// Messages and Bytes total every operation kind.
+	Messages int64
+	Bytes    int64
+	// PerOp breaks the totals down by operation name: "broadcast",
+	// "reduce", "allreduce", "allgather", "barrier", "send".
+	PerOp map[string]OpStats
+}
+
+// statsBook is the mutable collector behind Cluster.Stats.
+type statsBook struct {
+	mu    sync.Mutex
+	perOp map[string]OpStats
+}
+
+func newStatsBook() *statsBook {
+	return &statsBook{perOp: make(map[string]OpStats)}
+}
+
+// record adds one operation of the named kind.
+func (s *statsBook) record(op string, messages, bytes int64) {
+	s.mu.Lock()
+	e := s.perOp[op]
+	e.Calls++
+	e.Messages += messages
+	e.Bytes += bytes
+	s.perOp[op] = e
+	s.mu.Unlock()
+}
+
+// snapshot returns an independent copy with the totals filled in.
+func (s *statsBook) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{PerOp: make(map[string]OpStats, len(s.perOp))}
+	for op, e := range s.perOp {
+		out.PerOp[op] = e
+		out.Messages += e.Messages
+		out.Bytes += e.Bytes
+	}
+	return out
+}

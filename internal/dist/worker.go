@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Worker is one simulated rank. All methods must be called from the
+// goroutine Run started for this rank; the clock is private to it except at
+// collective rendezvous points.
+type Worker struct {
+	c     *Cluster
+	rank  int
+	clock float64 // simulated seconds since the last ResetClocks
+}
+
+// Rank returns the cluster rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Cluster returns the owning cluster.
+func (w *Worker) Cluster() *Cluster { return w.c }
+
+// Compute advances the simulated clock by flops at the model's FLOPS rate.
+func (w *Worker) Compute(flops float64) {
+	w.clock += flops / w.c.cost.FLOPS
+}
+
+// ChargeGEMM charges the 2·m·n·k flops of an m×k by k×n multiply.
+func (w *Worker) ChargeGEMM(m, n, k float64) {
+	w.clock += 2 * m * n * k / w.c.cost.FLOPS
+}
+
+// matrixBytes prices a matrix by shape (phantoms cost the same as real
+// data — that is the whole point of phantom mode).
+func matrixBytes(m *tensor.Matrix) int64 {
+	if m == nil {
+		return 0
+	}
+	return 8 * int64(m.Rows) * int64(m.Cols)
+}
+
+// Send delivers m to rank dst. It never blocks (mailboxes are unbounded);
+// the matrix is handed over by pointer, so the sender must not use it
+// afterwards. The sender's clock pays the full α + Bβ transfer.
+func (w *Worker) Send(dst int, m *tensor.Matrix) {
+	if dst < 0 || dst >= len(w.c.workers) {
+		panic(fmt.Sprintf("dist: send to rank %d outside world of %d", dst, len(w.c.workers)))
+	}
+	w.c.checkAbort()
+	beta := w.c.cost.BetaIntra
+	if w.c.node(w.rank) != w.c.node(dst) {
+		beta = w.c.cost.BetaInter
+	}
+	bytes := matrixBytes(m)
+	w.clock += w.c.cost.sendTime(bytes, beta)
+	w.c.stats.record("send", 1, bytes)
+	w.c.mail.box(w.rank, dst).put(packet{m: m, clock: w.clock})
+}
+
+// Recv blocks until a matrix from rank src arrives and returns it. The
+// receiver's clock advances to the message's arrival time (it cannot see
+// data before the sender finished pushing it).
+func (w *Worker) Recv(src int) *tensor.Matrix {
+	if src < 0 || src >= len(w.c.workers) {
+		panic(fmt.Sprintf("dist: recv from rank %d outside world of %d", src, len(w.c.workers)))
+	}
+	p, ok := w.c.mail.box(src, w.rank).take(w.c.abort)
+	if !ok {
+		panic(abortSignal{})
+	}
+	if p.clock > w.clock {
+		w.clock = p.clock
+	}
+	return p.m
+}

@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GEMM execution strategy. The three kernels (NN accumulate, NT, TN) share
+// the same structure:
+//
+//   - an inner microkernel that is vectorised on amd64 (see gemm_amd64.s)
+//     with a pure-Go fallback, both accumulating every C element in
+//     ascending-k order with separate multiply and add roundings — so the
+//     optimised kernels are bitwise identical to the naive reference
+//     kernels kept in naive.go;
+//   - cache blocking: the NN kernel tiles k so a panel of B rows stays
+//     resident while a block of C rows streams through, and the TN kernel
+//     holds four C rows L1-hot while B streams once (NT is dot-product
+//     shaped and needs only register blocking);
+//   - row-band goroutine parallelism over the rows of C, gated behind a
+//     flop threshold so tiny test matrices stay serial. Banding never
+//     changes results: each C row's arithmetic is independent and
+//     identical in any band split.
+const (
+	// gemmKC is the k-tile: gemmKC rows of B (×8 bytes×n columns) form the
+	// panel reused across a block of C rows.
+	gemmKC = 256
+	// gemmParallelFlops gates goroutine banding: below 2·m·n·k of one
+	// million flops the spawn overhead outweighs the help.
+	gemmParallelFlops = 1 << 20
+)
+
+// gemmBands picks the number of row bands for a kernel of the given flop
+// count and row count.
+func gemmBands(flops float64, rows int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 || flops < gemmParallelFlops || rows < 2 {
+		return 1
+	}
+	if procs > rows {
+		return rows
+	}
+	return procs
+}
+
+// bandRange splits [0, rows) into bands of near-equal size.
+func bandRange(rows, band, bands int) (int, int) {
+	lo := rows * band / bands
+	hi := rows * (band + 1) / bands
+	return lo, hi
+}
+
+// runBanded executes fn over row bands, in place for a single band and on
+// one goroutine per band otherwise.
+func runBanded(rows, bands int, fn func(i0, i1 int)) {
+	if bands <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < bands; b++ {
+		i0, i1 := bandRange(rows, b, bands)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i0, i1)
+		}()
+	}
+	wg.Wait()
+}
+
+// matMulAccum computes C += A·B on real matrices (the shared kernel behind
+// MatMul and MatMulInto).
+func matMulAccum(c, a, b *Matrix) {
+	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
+	runBanded(a.Rows, gemmBands(flops, a.Rows), func(i0, i1 int) {
+		matMulAccumRows(c, a, b, i0, i1)
+	})
+}
+
+// matMulAccumRows runs the NN kernel over C rows [i0, i1): k-tiled, with a
+// four-row microkernel that reuses the loaded C row across four B rows.
+func matMulAccumRows(c, a, b *Matrix, i0, i1 int) {
+	n, k := b.Cols, a.Cols
+	if n == 0 || k == 0 {
+		return
+	}
+	for kc := 0; kc < k; kc += gemmKC {
+		kend := kc + gemmKC
+		if kend > k {
+			kend = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			l := kc
+			for ; l+4 <= kend; l += 4 {
+				accum4(crow,
+					b.Data[l*n:(l+1)*n],
+					b.Data[(l+1)*n:(l+2)*n],
+					b.Data[(l+2)*n:(l+3)*n],
+					b.Data[(l+3)*n:(l+4)*n],
+					arow[l], arow[l+1], arow[l+2], arow[l+3])
+			}
+			for ; l < kend; l++ {
+				axpy(crow, b.Data[l*n:(l+1)*n], arow[l])
+			}
+		}
+	}
+}
+
+// matMulNTKernel computes C = A·Bᵀ on real matrices (C pre-zeroed).
+func matMulNTKernel(c, a, b *Matrix) {
+	flops := 2 * float64(a.Rows) * float64(b.Rows) * float64(a.Cols)
+	runBanded(a.Rows, gemmBands(flops, a.Rows), func(i0, i1 int) {
+		matMulNTRows(c, a, b, i0, i1)
+	})
+}
+
+// matMulNTRows runs the NT kernel over C rows [i0, i1): 2×2 register
+// blocking of independent dot products, each accumulated in plain k order.
+func matMulNTRows(c, a, b *Matrix, i0, i1 int) {
+	k, n := a.Cols, b.Rows
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		a0 := a.Data[i*k : (i+1)*k]
+		a1 := a.Data[(i+1)*k : (i+2)*k]
+		c0 := c.Data[i*n : (i+1)*n]
+		c1 := c.Data[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			var s00, s01, s10, s11 float64
+			for l, av0 := range a0 {
+				av1 := a1[l]
+				bv0, bv1 := b0[l], b1[l]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+			}
+			c0[j], c0[j+1] = s00, s01
+			c1[j], c1[j+1] = s10, s11
+		}
+		for ; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s0, s1 float64
+			for l, av0 := range a0 {
+				s0 += av0 * brow[l]
+				s1 += a1[l] * brow[l]
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for ; i < i1; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// matMulTNKernel computes C = Aᵀ·B on real matrices (C pre-zeroed).
+func matMulTNKernel(c, a, b *Matrix) {
+	flops := 2 * float64(a.Cols) * float64(b.Cols) * float64(a.Rows)
+	runBanded(a.Cols, gemmBands(flops, a.Cols), func(i0, i1 int) {
+		matMulTNRows(c, a, b, i0, i1)
+	})
+}
+
+// matMulTNRows runs the TN kernel over C rows [i0, i1) (columns of A):
+// blocks of four C rows stay L1-resident while B streams through once, and
+// every element still accumulates in ascending-l order like the naive
+// kernel — the dense-friendly replacement for the old zero-skip loop.
+func matMulTNRows(c, a, b *Matrix, i0, i1 int) {
+	m, ac, n := a.Rows, a.Cols, b.Cols
+	if n == 0 {
+		return
+	}
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		c0 := c.Data[i*n : (i+1)*n]
+		c1 := c.Data[(i+1)*n : (i+2)*n]
+		c2 := c.Data[(i+2)*n : (i+3)*n]
+		c3 := c.Data[(i+3)*n : (i+4)*n]
+		for l := 0; l < m; l++ {
+			arow := a.Data[l*ac : (l+1)*ac]
+			brow := b.Data[l*n : (l+1)*n]
+			axpy(c0, brow, arow[i])
+			axpy(c1, brow, arow[i+1])
+			axpy(c2, brow, arow[i+2])
+			axpy(c3, brow, arow[i+3])
+		}
+	}
+	for ; i < i1; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for l := 0; l < m; l++ {
+			axpy(crow, b.Data[l*n:(l+1)*n], a.Data[l*ac+i])
+		}
+	}
+}
+
+// accum4Generic is the portable microkernel: c[j] += a0·b0[j], then
+// a1·b1[j], a2·b2[j], a3·b3[j] — four ascending-k accumulation steps with
+// individually rounded multiplies and adds, exactly like the naive loop.
+func accum4Generic(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	_ = b0[len(c)-1]
+	_ = b1[len(c)-1]
+	_ = b2[len(c)-1]
+	_ = b3[len(c)-1]
+	for j := range c {
+		s := c[j]
+		s += a0 * b0[j]
+		s += a1 * b1[j]
+		s += a2 * b2[j]
+		s += a3 * b3[j]
+		c[j] = s
+	}
+}
+
+// axpyGeneric is the portable single-row microkernel: c[j] += a·b[j].
+func axpyGeneric(c, b []float64, a float64) {
+	_ = b[len(c)-1]
+	for j := range c {
+		c[j] += a * b[j]
+	}
+}

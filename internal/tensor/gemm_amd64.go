@@ -1,0 +1,51 @@
+//go:build amd64
+
+package tensor
+
+// amd64 microkernels: AVX2 vectorisation over the output columns with
+// separate multiply and add instructions (never FMA), so every C element
+// sees exactly the scalar kernel's sequence of individually rounded
+// operations — the optimised path is bitwise identical to the naive one.
+// Detection happens at init; pre-AVX2 machines keep the portable kernels.
+
+// accum4 and axpy are the microkernels the blocked GEMM drivers call; on
+// amd64 init rebinds them to the AVX2 versions when the CPU qualifies.
+var (
+	accum4 = accum4Generic
+	axpy   = axpyGeneric
+)
+
+// cpuHasAVX2 reports AVX2 plus OS support for YMM state (CPUID + XGETBV).
+func cpuHasAVX2() bool
+
+//go:noescape
+func accum4Ptr(c, b0, b1, b2, b3 *float64, n int, a0, a1, a2, a3 float64)
+
+//go:noescape
+func axpyPtr(c, b *float64, n int, a float64)
+
+func init() {
+	if cpuHasAVX2() {
+		accum4 = accum4AVX2
+		axpy = axpyAVX2
+	}
+}
+
+func accum4AVX2(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	if len(c) == 0 {
+		return
+	}
+	_ = b0[len(c)-1]
+	_ = b1[len(c)-1]
+	_ = b2[len(c)-1]
+	_ = b3[len(c)-1]
+	accum4Ptr(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], len(c), a0, a1, a2, a3)
+}
+
+func axpyAVX2(c, b []float64, a float64) {
+	if len(c) == 0 {
+		return
+	}
+	_ = b[len(c)-1]
+	axpyPtr(&c[0], &b[0], len(c), a)
+}

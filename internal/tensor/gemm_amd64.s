@@ -1,0 +1,162 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 GEMM microkernels. Both functions accumulate with separate VMULPD /
+// VADDPD (never FMA) in ascending-k order, making them bitwise identical
+// to the scalar reference kernels. Tails run scalar in the same order.
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   novx
+	MOVL $1, AX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ    novx
+	TESTL $(1<<28), CX // AVX
+	JZ    novx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX        // XMM and YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  novx
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX  // AVX2
+	JZ    novx
+	MOVB $1, ret+0(FP)
+	RET
+novx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func accum4Ptr(c, b0, b1, b2, b3 *float64, n int, a0, a1, a2, a3 float64)
+// c[j] += a0*b0[j]; c[j] += a1*b1[j]; c[j] += a2*b2[j]; c[j] += a3*b3[j]
+TEXT ·accum4Ptr(SB), NOSPLIT, $0-80
+	MOVQ c+0(FP), DI
+	MOVQ b0+8(FP), SI
+	MOVQ b1+16(FP), R8
+	MOVQ b2+24(FP), R9
+	MOVQ b3+32(FP), R10
+	MOVQ n+40(FP), CX
+	VBROADCASTSD a0+48(FP), Y0
+	VBROADCASTSD a1+56(FP), Y1
+	VBROADCASTSD a2+64(FP), Y2
+	VBROADCASTSD a3+72(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   tail4
+loop8:
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(SI)(AX*8), Y0, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R8)(AX*8), Y1, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R8)(AX*8), Y1, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R9)(AX*8), Y2, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R9)(AX*8), Y2, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R10)(AX*8), Y3, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R10)(AX*8), Y3, Y7
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ $8, AX
+	DECQ DX
+	JNZ  loop8
+tail4:
+	TESTQ $4, CX
+	JZ    tail1
+	VMOVUPD (DI)(AX*8), Y4
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R8)(AX*8), Y1, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R9)(AX*8), Y2, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R10)(AX*8), Y3, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+tail1:
+	CMPQ AX, CX
+	JGE  done
+scalar:
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X5
+	MULSD X0, X5
+	ADDSD X5, X4
+	MOVSD (R8)(AX*8), X5
+	MULSD X1, X5
+	ADDSD X5, X4
+	MOVSD (R9)(AX*8), X5
+	MULSD X2, X5
+	ADDSD X5, X4
+	MOVSD (R10)(AX*8), X5
+	MULSD X3, X5
+	ADDSD X5, X4
+	MOVSD X4, (DI)(AX*8)
+	INCQ AX
+	CMPQ AX, CX
+	JL   scalar
+done:
+	VZEROUPPER
+	RET
+
+// func axpyPtr(c, b *float64, n int, a float64)
+// c[j] += a*b[j]
+TEXT ·axpyPtr(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD a+24(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   atail4
+aloop8:
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(SI)(AX*8), Y0, Y7
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ $8, AX
+	DECQ DX
+	JNZ  aloop8
+atail4:
+	TESTQ $4, CX
+	JZ    atail1
+	VMOVUPD (DI)(AX*8), Y4
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+atail1:
+	CMPQ AX, CX
+	JGE  adone
+ascalar:
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X5
+	MULSD X0, X5
+	ADDSD X5, X4
+	MOVSD X4, (DI)(AX*8)
+	INCQ AX
+	CMPQ AX, CX
+	JL   ascalar
+adone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds keep the portable microkernels (which the compiler may
+// still vectorise or fuse per-platform; both the naive and the blocked
+// kernels share the same expression shapes, so they stay bitwise aligned).
+var (
+	accum4 = accum4Generic
+	axpy   = axpyGeneric
+)

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The GEMM contract: at every shape — odd sizes, degenerate slivers, sizes
+// straddling the parallelism threshold — the blocked/vectorised kernels
+// and any row-band split of them produce bitwise exactly the naive
+// reference results.
+
+func gemmShapes() []struct{ m, k, n int } {
+	return []struct{ m, k, n int }{
+		{1, 1, 1}, {1, 7, 1}, {3, 1, 5}, {2, 3, 2},
+		{5, 5, 5}, {7, 11, 13}, {8, 8, 8}, {9, 17, 33},
+		{16, 64, 16}, {31, 29, 37}, {64, 64, 64},
+		{65, 63, 67},   // just past the microkernel widths
+		{80, 80, 80},   // straddles gemmParallelFlops (2·80³ ≈ 1.02M)
+		{81, 79, 83},   // odd straddler
+		{96, 128, 96},  // above the threshold
+		{1, 300, 257},  // k longer than gemmKC, sliver output
+		{257, 300, 1},  // single-column output
+	}
+}
+
+func TestMatMulMatchesNaiveBitwise(t *testing.T) {
+	for _, s := range gemmShapes() {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			rng := NewRNG(uint64(s.m*1000000 + s.k*1000 + s.n))
+			a := RandomMatrix(s.m, s.k, rng)
+			b := RandomMatrix(s.k, s.n, rng)
+			want := New(s.m, s.n)
+			matMulAccumNaive(want, a, b)
+			if got := MatMul(a, b); !got.Equal(want) {
+				t.Fatalf("MatMul diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+}
+
+func TestMatMulNTMatchesNaiveBitwise(t *testing.T) {
+	for _, s := range gemmShapes() {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			rng := NewRNG(uint64(s.m*999 + s.k*99 + s.n))
+			a := RandomMatrix(s.m, s.k, rng)
+			b := RandomMatrix(s.n, s.k, rng) // C = A·Bᵀ is m×n
+			want := New(s.m, s.n)
+			matMulNTNaive(want, a, b)
+			if got := MatMulNT(a, b); !got.Equal(want) {
+				t.Fatalf("MatMulNT diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+}
+
+func TestMatMulTNMatchesNaiveBitwise(t *testing.T) {
+	for _, s := range gemmShapes() {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			rng := NewRNG(uint64(s.m*77 + s.k*7 + s.n))
+			a := RandomMatrix(s.k, s.m, rng) // C = Aᵀ·B is m×n
+			b := RandomMatrix(s.k, s.n, rng)
+			want := New(s.m, s.n)
+			matMulTNNaive(want, a, b)
+			if got := MatMulTN(a, b); !got.Equal(want) {
+				t.Fatalf("MatMulTN diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+}
+
+// TestBandedGEMMBitwiseAtEveryBandCount forces every band split (including
+// counts this host would never pick) through the three kernels and demands
+// bitwise agreement with the single-band run — the property that makes the
+// parallelism threshold a pure performance knob.
+func TestBandedGEMMBitwiseAtEveryBandCount(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 5, 9}, {5, 7, 11}, {13, 17, 19}, {64, 32, 48}, {81, 80, 79},
+	} {
+		rng := NewRNG(uint64(s.m + s.k + s.n))
+		a := RandomMatrix(s.m, s.k, rng)
+		b := RandomMatrix(s.k, s.n, rng)
+		aT := Transpose(a)
+		bNT := RandomMatrix(s.n, s.k, rng)
+
+		wantNN := New(s.m, s.n)
+		matMulAccumRows(wantNN, a, b, 0, s.m)
+		wantNT := New(s.m, s.n)
+		matMulNTRows(wantNT, a, bNT, 0, s.m)
+		wantTN := New(s.m, s.n)
+		matMulTNRows(wantTN, aT, b, 0, s.m)
+
+		for bands := 1; bands <= s.m+1; bands++ {
+			gotNN := New(s.m, s.n)
+			gotNT := New(s.m, s.n)
+			gotTN := New(s.m, s.n)
+			runBanded(s.m, bands, func(i0, i1 int) { matMulAccumRows(gotNN, a, b, i0, i1) })
+			runBanded(s.m, bands, func(i0, i1 int) { matMulNTRows(gotNT, a, bNT, i0, i1) })
+			runBanded(s.m, bands, func(i0, i1 int) { matMulTNRows(gotTN, aT, b, i0, i1) })
+			if !gotNN.Equal(wantNN) {
+				t.Fatalf("%dx%dx%d: NN diverges at %d bands", s.m, s.k, s.n, bands)
+			}
+			if !gotNT.Equal(wantNT) {
+				t.Fatalf("%dx%dx%d: NT diverges at %d bands", s.m, s.k, s.n, bands)
+			}
+			if !gotTN.Equal(wantTN) {
+				t.Fatalf("%dx%dx%d: TN diverges at %d bands", s.m, s.k, s.n, bands)
+			}
+		}
+	}
+}
+
+// TestMatMulIntoAccumulatesBitwise checks the += contract survives the
+// blocked kernel (two accumulations equal the naive double product).
+func TestMatMulIntoAccumulatesBitwise(t *testing.T) {
+	rng := NewRNG(5)
+	a := RandomMatrix(9, 13, rng)
+	b := RandomMatrix(13, 7, rng)
+	got := New(9, 7)
+	MatMulInto(got, a, b)
+	MatMulInto(got, a, b)
+	want := New(9, 7)
+	matMulAccumNaive(want, a, b)
+	matMulAccumNaive(want, a, b)
+	if !got.Equal(want) {
+		t.Fatalf("MatMulInto accumulation diverges from naive (max diff %g)", got.MaxAbsDiff(want))
+	}
+}
+
+// TestGEMMSpecialValues pins the IEEE win of dropping the zero-skip branch:
+// a zero in A against a NaN in B must poison the product (0·NaN is NaN),
+// identically in the blocked and naive kernels.
+func TestGEMMSpecialValues(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {2, 0}})
+	nan := FromRows([][]float64{{1, 2}, {3, 4}})
+	nan.Set(0, 0, math.NaN())
+	got := MatMul(a, nan)
+	want := New(2, 2)
+	matMulAccumNaive(want, a, nan)
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("element %d: blocked %v vs naive %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if !math.IsNaN(got.At(0, 0)) { // 0·NaN + 1·3 must be NaN
+		t.Fatalf("MatMul swallowed a NaN: got %g", got.At(0, 0))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Matrix is a dense row-major matrix. The zero value is an empty matrix.
@@ -145,19 +146,21 @@ func (m *Matrix) String() string {
 	if m.Rows*m.Cols > 64 {
 		return fmt.Sprintf("matrix[%dx%d]", m.Rows, m.Cols)
 	}
-	s := fmt.Sprintf("matrix[%dx%d]{", m.Rows, m.Cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "matrix[%dx%d]{", m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		if i > 0 {
-			s += "; "
+			b.WriteString("; ")
 		}
 		for j := 0; j < m.Cols; j++ {
 			if j > 0 {
-				s += " "
+				b.WriteByte(' ')
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
 		}
 	}
-	return s + "}"
+	b.WriteByte('}')
+	return b.String()
 }
 
 // ErrShape is returned (wrapped) by checked operations when shapes disagree.

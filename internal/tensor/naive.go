@@ -1,0 +1,57 @@
+package tensor
+
+// Naive single-goroutine reference kernels: the textbook loops the seed
+// shipped, kept as the correctness oracle for the property tests and the
+// baseline the GEMM benchmarks compare against. The seed's `if av == 0`
+// zero-skip branch is gone: on the dense inputs every layer produces it
+// never fires yet costs a compare per inner element, it breaks IEEE
+// semantics for NaN/Inf operands (0·NaN must be NaN), and — measured in
+// gemm_bench_test.go — removing it does not slow the dense case. Sparse
+// inputs that would profit deserve a sparse type, not a hidden branch.
+
+// matMulAccumNaive computes C += A·B in plain i-k-j order.
+func matMulAccumNaive(c, a, b *Matrix) {
+	n, k := b.Cols, a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			brow := b.Data[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulNTNaive computes C = A·Bᵀ as plain row-by-row dot products.
+func matMulNTNaive(c, a, b *Matrix) {
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// matMulTNNaive computes C += Aᵀ·B in plain l-i-j order.
+func matMulTNNaive(c, a, b *Matrix) {
+	for l := 0; l < a.Rows; l++ {
+		arow := a.Data[l*a.Cols : (l+1)*a.Cols]
+		brow := b.Data[l*b.Cols : (l+1)*b.Cols]
+		for i, av := range arow {
+			crow := c.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}

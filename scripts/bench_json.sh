@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Runs the repository benchmarks once and dumps the metrics to a JSON file
+# (default BENCH_PR1.json) so CI can archive the perf trajectory per PR.
+#
+# Usage: scripts/bench_json.sh [output.json]
+set -eu
+
+out="${1:-BENCH_PR1.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# -benchtime=1x keeps the smoke pass cheap; the table benches are dominated
+# by the 64-worker phantom rows, not by arithmetic. No pipe here: a plain
+# redirect keeps `set -e` sensitive to a benchmark failure.
+go test -run '^$' -bench . -benchtime 1x . ./internal/tensor/ > "$tmp"
+cat "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    nsop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") nsop = $(i - 1)
+    }
+    extra = ""
+    for (i = 2; i <= NF; i++) {
+        unit = $(i)
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s)$/) {
+            gsub(/[^A-Za-z0-9]/, "_", unit)
+            extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
+        }
+    }
+    if (nsop != "") {
+        line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s%s}", name, nsop, extra)
+        lines[n++] = line
+    }
+}
+END {
+    printf "{\n\"generated\": \"%s\",\n\"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
