@@ -84,6 +84,30 @@ func BenchmarkFigure7ViT(b *testing.B) {
 	b.ReportMetric(loss, "final-loss")
 }
 
+// BenchmarkTesseractStep measures one steady-state [2,2,2] ViT training step
+// (forward, loss, backward, Adam) across all eight simulated workers —
+// wall-clock and, with -benchmem, allocations per step. The allocation
+// number is the PR 2 acceptance metric: the workspace subsystem must keep
+// the steady path out of the allocator.
+func BenchmarkTesseractStep(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	sb, err := vit.NewStepBencher(2, 2, ds, mcfg, tc, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := sb.Steps(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkClaimTransmissions regenerates the §1 transmission-count claim.
 func BenchmarkClaimTransmissions(b *testing.B) {
 	var ratio float64

@@ -69,6 +69,7 @@ func main() {
 			}
 			block.Backward(p, p.DistributeA(dyFull))
 			opt.Step(block.Params())
+			w.Workspace().ReleaseAll() // step boundary: recycle panels, partials, activations
 		}
 		return nil
 	})

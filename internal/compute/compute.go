@@ -44,6 +44,18 @@ func MatMulTN(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
 	return tensor.MatMulTN(a, b)
 }
 
+// MatMulNTInto computes c = a·bᵀ (overwriting c) and charges 2mnk flops.
+func MatMulNTInto(w *dist.Worker, c, a, b *tensor.Matrix) {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Rows), float64(a.Cols))
+	tensor.MatMulNTInto(c, a, b)
+}
+
+// MatMulTNInto computes c += aᵀ·b and charges 2mnk flops.
+func MatMulTNInto(w *dist.Worker, c, a, b *tensor.Matrix) {
+	w.ChargeGEMM(float64(a.Cols), float64(b.Cols), float64(a.Rows))
+	tensor.MatMulTNInto(c, a, b)
+}
+
 // Add returns a+b, charging one flop per element.
 func Add(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
 	w.Compute(float64(a.Size()) * FlopsPerAdd)
@@ -68,6 +80,20 @@ func Mul(w *dist.Worker, a, b *tensor.Matrix) *tensor.Matrix {
 	return tensor.Mul(a, b)
 }
 
+// AddTo computes dst = a+b (dst may alias either operand), one flop per
+// element.
+func AddTo(w *dist.Worker, dst, a, b *tensor.Matrix) {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	tensor.AddTo(dst, a, b)
+}
+
+// MulTo computes the Hadamard product into dst (dst may alias either
+// operand), one flop per element.
+func MulTo(w *dist.Worker, dst, a, b *tensor.Matrix) {
+	w.Compute(float64(a.Size()) * FlopsPerAdd)
+	tensor.MulTo(dst, a, b)
+}
+
 // Scale returns alpha·m, charging one flop per element.
 func Scale(w *dist.Worker, alpha float64, m *tensor.Matrix) *tensor.Matrix {
 	w.Compute(float64(m.Size()) * FlopsPerAdd)
@@ -80,10 +106,24 @@ func AddRowVector(w *dist.Worker, m, v *tensor.Matrix) *tensor.Matrix {
 	return tensor.AddRowVector(m, v)
 }
 
+// AddRowVectorInPlace computes m += 1·vᵀ (bias add) in place, one flop per
+// element.
+func AddRowVectorInPlace(w *dist.Worker, m, v *tensor.Matrix) {
+	w.Compute(float64(m.Size()) * FlopsPerAdd)
+	tensor.AddRowVectorInPlace(m, v)
+}
+
 // ColSums returns the column sums (bias gradient), one flop per element.
 func ColSums(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
 	w.Compute(float64(m.Size()) * FlopsPerAdd)
 	return tensor.ColSums(m)
+}
+
+// ColSumsInto computes the column sums into dst (overwriting it), one flop
+// per element.
+func ColSumsInto(w *dist.Worker, dst, m *tensor.Matrix) {
+	w.Compute(float64(m.Size()) * FlopsPerAdd)
+	tensor.ColSumsInto(dst, m)
 }
 
 // GELU applies the activation, charging FlopsPerGELU per element.
@@ -108,4 +148,30 @@ func SoftmaxRows(w *dist.Worker, m *tensor.Matrix) *tensor.Matrix {
 func SoftmaxRowsBackward(w *dist.Worker, s, ds *tensor.Matrix) *tensor.Matrix {
 	w.Compute(float64(s.Size()) * FlopsPerSoftmax)
 	return tensor.SoftmaxRowsBackward(s, ds)
+}
+
+// GELUTo computes dst = GELU(m), charging FlopsPerGELU per element.
+func GELUTo(w *dist.Worker, dst, m *tensor.Matrix) {
+	w.Compute(float64(m.Size()) * FlopsPerGELU)
+	tensor.GELUTo(dst, m)
+}
+
+// GELUGradTo computes dst = GELU'(m), same charge as GELU.
+func GELUGradTo(w *dist.Worker, dst, m *tensor.Matrix) {
+	w.Compute(float64(m.Size()) * FlopsPerGELU)
+	tensor.GELUGradTo(dst, m)
+}
+
+// SoftmaxRowsTo computes a row softmax into dst, FlopsPerSoftmax per
+// element.
+func SoftmaxRowsTo(w *dist.Worker, dst, m *tensor.Matrix) {
+	w.Compute(float64(m.Size()) * FlopsPerSoftmax)
+	tensor.SoftmaxRowsTo(dst, m)
+}
+
+// SoftmaxRowsBackwardTo computes the softmax input gradient into dst (which
+// may alias ds), FlopsPerSoftmax per element.
+func SoftmaxRowsBackwardTo(w *dist.Worker, dst, s, ds *tensor.Matrix) {
+	w.Compute(float64(s.Size()) * FlopsPerSoftmax)
+	tensor.SoftmaxRowsBackwardTo(dst, s, ds)
 }

@@ -11,7 +11,9 @@ import (
 // pass payload == nil. The root snapshots the payload once; every member
 // then shares that immutable snapshot zero-copy, so the root is free to
 // mutate its original (an optimiser step on a broadcast weight) while slow
-// peers are still reading. Results are read-only by convention.
+// peers are still reading. Results are read-only by convention. Callers on
+// a hot path that would immediately copy or discard the snapshot should use
+// BroadcastInto instead.
 func (g *Group) Broadcast(w *Worker, root int, payload *tensor.Matrix) *tensor.Matrix {
 	idx := g.mustIndex(w, "broadcast")
 	ridx := g.Index(root)
@@ -21,7 +23,7 @@ func (g *Group) Broadcast(w *Worker, root int, payload *tensor.Matrix) *tensor.M
 	if payload != nil && len(g.ranks) > 1 {
 		payload = payload.Clone()
 	}
-	r := g.rendezvous(w, "broadcast", root, idx, payload, func(r *round) {
+	r := g.rendezvous(w, "broadcast", root, idx, payload, nil, func(r *round) {
 		m := r.slots[ridx]
 		if m == nil {
 			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", root))
@@ -32,7 +34,43 @@ func (g *Group) Broadcast(w *Worker, root int, payload *tensor.Matrix) *tensor.M
 		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
 		g.c.stats.record("broadcast", int64(n-1), int64(n-1)*bytes)
 	})
-	return r.result
+	out := r.result
+	g.retire(r)
+	return out
+}
+
+// BroadcastInto distributes the root's payload into caller-supplied
+// destinations without the snapshot clone: the last member to arrive copies
+// the payload into every member's dst while all members are still parked at
+// the rendezvous, so the root's buffer is never aliased once the call
+// returns and the root may mutate it immediately. Every member must pass a
+// dst of the payload's shape; the root may pass its payload as dst to skip
+// the self-copy. Time and statistics are charged exactly like Broadcast.
+// Returns dst.
+func (g *Group) BroadcastInto(w *Worker, root int, payload, dst *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "broadcast-into")
+	ridx := g.Index(root)
+	if ridx < 0 {
+		panic(fmt.Sprintf("dist: broadcast root %d outside group %v", root, g.ranks))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil dst to broadcast-into", w.rank))
+	}
+	r := g.rendezvous(w, "broadcast-into", root, idx, payload, dst, func(r *round) {
+		m := r.slots[ridx]
+		if m == nil {
+			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", root))
+		}
+		for _, d := range r.dsts {
+			tensor.CopyInto(d, m)
+		}
+		n := len(g.ranks)
+		bytes := matrixBytes(m)
+		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record("broadcast", int64(n-1), int64(n-1)*bytes)
+	})
+	g.retire(r)
+	return dst
 }
 
 // Reduce sums every member's matrix onto the root: the root receives an
@@ -48,13 +86,44 @@ func (g *Group) Reduce(w *Worker, root int, m *tensor.Matrix) *tensor.Matrix {
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to reduce", w.rank))
 	}
-	sum := g.treeReduce(w, idx, ridx, m)
-	g.rendezvous(w, "reduce", root, idx, m, func(r *round) {
+	sum, scratch := g.treeReduce(w, idx, ridx, m)
+	g.retire(g.rendezvous(w, "reduce", root, idx, m, nil, func(r *round) {
 		n := len(g.ranks)
 		bytes := matrixBytes(r.slots[ridx])
 		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
 		g.c.stats.record("reduce", int64(n-1), int64(n-1)*bytes)
-	})
+	}))
+	g.recycleScratch(w, scratch)
+	return sum
+}
+
+// ReduceInto is Reduce with a root-supplied accumulator: the sum lands in
+// the root's dst (which may alias its m) instead of a freshly allocated
+// buffer, in the same binomial-tree association — bit-identical to Reduce.
+// Non-root members pass dst == nil and receive nil. Every member's m is
+// fully consumed before the collective returns, so callers may overwrite
+// their partials immediately — the contract that lets SUMMA reuse one
+// partial buffer across all its iterations.
+func (g *Group) ReduceInto(w *Worker, root int, m, dst *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "reduce-into")
+	ridx := g.Index(root)
+	if ridx < 0 {
+		panic(fmt.Sprintf("dist: reduce root %d outside group %v", root, g.ranks))
+	}
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to reduce-into", w.rank))
+	}
+	if (idx == ridx) != (dst != nil) {
+		panic(fmt.Sprintf("dist: reduce-into rank %d root=%v dst=%v — exactly the root must supply dst", w.rank, idx == ridx, dst != nil))
+	}
+	sum, scratch := g.treeReduceInto(w, idx, ridx, m, dst)
+	g.retire(g.rendezvous(w, "reduce-into", root, idx, m, nil, func(r *round) {
+		n := len(g.ranks)
+		bytes := matrixBytes(r.slots[ridx])
+		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record("reduce", int64(n-1), int64(n-1)*bytes)
+	}))
+	g.recycleScratch(w, scratch)
 	return sum
 }
 
@@ -68,17 +137,52 @@ func (g *Group) AllReduce(w *Worker, m *tensor.Matrix) *tensor.Matrix {
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to allreduce", w.rank))
 	}
-	out := g.treeReduce(w, idx, 0, m)
+	out, scratch := g.treeReduce(w, idx, 0, m)
 	if shared := g.treeBcast(w, idx, 0, out); out == nil {
 		out = shared.Clone()
 	}
-	g.rendezvous(w, "allreduce", -1, idx, m, func(r *round) {
+	g.retire(g.rendezvous(w, "allreduce", -1, idx, m, nil, func(r *round) {
 		n := len(g.ranks)
 		bytes := matrixBytes(r.slots[idx])
 		r.newClock = maxClock(r.clocks) + g.c.cost.allReduceTime(n, bytes, g.beta)
 		g.c.stats.record("allreduce", 2*int64(n-1), 2*int64(n-1)*bytes)
-	})
+	}))
+	g.recycleScratch(w, scratch)
 	return out
+}
+
+// AllReduceInto sums every member's matrix into each member's own dst —
+// bit-identical to AllReduce but with no retained allocation. dst may alias
+// m, giving an in-place all-reduce. The tree's root accumulates directly
+// into its dst and shares it down the broadcast tree; every other member
+// copies the shared sum into its dst before reaching the closing
+// rendezvous, so the root's buffer is exclusively owned again the moment
+// the call returns. Returns dst.
+func (g *Group) AllReduceInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, "allreduce-into")
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to allreduce-into", w.rank))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil dst to allreduce-into", w.rank))
+	}
+	var rootDst *tensor.Matrix
+	if idx == 0 {
+		rootDst = dst
+	}
+	sum, scratch := g.treeReduceInto(w, idx, 0, m, rootDst)
+	shared := g.treeBcast(w, idx, 0, sum)
+	if idx != 0 {
+		tensor.CopyInto(dst, shared)
+	}
+	g.retire(g.rendezvous(w, "allreduce-into", -1, idx, m, nil, func(r *round) {
+		n := len(g.ranks)
+		bytes := matrixBytes(r.slots[idx])
+		r.newClock = maxClock(r.clocks) + g.c.cost.allReduceTime(n, bytes, g.beta)
+		g.c.stats.record("allreduce", 2*int64(n-1), 2*int64(n-1)*bytes)
+	}))
+	g.recycleScratch(w, scratch)
+	return dst
 }
 
 // AllGather returns every member's matrix in the group's canonical order.
@@ -93,7 +197,7 @@ func (g *Group) AllGather(w *Worker, m *tensor.Matrix) []*tensor.Matrix {
 	if len(g.ranks) > 1 {
 		m = m.Clone()
 	}
-	r := g.rendezvous(w, "allgather", -1, idx, m, func(r *round) {
+	r := g.rendezvous(w, "allgather", -1, idx, m, nil, func(r *round) {
 		n := len(g.ranks)
 		var sum, max int64
 		for _, s := range r.slots {
@@ -108,15 +212,26 @@ func (g *Group) AllGather(w *Worker, m *tensor.Matrix) []*tensor.Matrix {
 	})
 	out := make([]*tensor.Matrix, len(r.slots))
 	copy(out, r.slots)
+	g.retire(r)
 	return out
+}
+
+// recycleScratch returns an interior-node reduce accumulator to its
+// worker's pool. It runs after the collective's closing rendezvous, by
+// which point the parent that received the buffer has finished its reads —
+// it cannot have reached the rendezvous otherwise.
+func (g *Group) recycleScratch(w *Worker, scratch *tensor.Matrix) {
+	if scratch != nil {
+		w.Workspace().Put(scratch)
+	}
 }
 
 // Barrier blocks until every member arrives, then advances all clocks to
 // the common post-barrier time. It moves no payload.
 func (g *Group) Barrier(w *Worker) {
 	idx := g.mustIndex(w, "barrier")
-	g.rendezvous(w, "barrier", -1, idx, nil, func(r *round) {
+	g.retire(g.rendezvous(w, "barrier", -1, idx, nil, nil, func(r *round) {
 		r.newClock = maxClock(r.clocks) + g.c.cost.barrierTime(len(g.ranks))
 		g.c.stats.record("barrier", 0, 0)
-	})
+	}))
 }

@@ -1,6 +1,9 @@
 package dist
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // CostModel is the α–β machine model the simulated clocks run on. All times
 // are seconds, all sizes bytes.
@@ -32,11 +35,31 @@ func MeluxinaModel() CostModel {
 	}
 }
 
-// withDefaults substitutes the Meluxina preset for a zero model so that
-// dist.New(dist.Config{WorldSize: n}) charges sane times out of the box.
+// withDefaults validates the model and substitutes the Meluxina preset per
+// field, so dist.New(dist.Config{WorldSize: n}) charges sane times out of
+// the box and a caller who overrides only some fields (say, Alpha for a
+// latency study) still gets a finite FLOPS rate instead of Inf/NaN compute
+// times. A zero field always and uniformly means "use the preset" — a
+// study that wants genuinely free links must pass an epsilon instead —
+// and non-finite or negative fields are nonsensical and panic.
 func (m CostModel) withDefaults() CostModel {
+	for _, v := range [...]float64{m.FLOPS, m.Alpha, m.BetaIntra, m.BetaInter} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("dist: invalid cost model %+v (fields must be finite and non-negative; zero selects the Meluxina default)", m))
+		}
+	}
+	def := MeluxinaModel()
 	if m.FLOPS == 0 {
-		return MeluxinaModel()
+		m.FLOPS = def.FLOPS
+	}
+	if m.Alpha == 0 {
+		m.Alpha = def.Alpha
+	}
+	if m.BetaIntra == 0 {
+		m.BetaIntra = def.BetaIntra
+	}
+	if m.BetaInter == 0 {
+		m.BetaInter = def.BetaInter
 	}
 	return m
 }

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostModelPartialOverrideGetsPerFieldDefaults(t *testing.T) {
+	// Regression: withDefaults used to check only FLOPS == 0, so a caller
+	// overriding a single communication field ended up with a model whose
+	// other fields were zero — Inf/NaN compute times or free links.
+	def := MeluxinaModel()
+	m := CostModel{Alpha: 5e-6}.withDefaults()
+	if m.Alpha != 5e-6 {
+		t.Fatalf("explicit Alpha %g was overwritten to %g", 5e-6, m.Alpha)
+	}
+	if m.FLOPS != def.FLOPS || m.BetaIntra != def.BetaIntra || m.BetaInter != def.BetaInter {
+		t.Fatalf("unset fields must take the Meluxina preset, got %+v", m)
+	}
+	if t1 := 1e12 / m.FLOPS; math.IsInf(t1, 0) || math.IsNaN(t1) || t1 <= 0 {
+		t.Fatalf("compute time %g must be finite and positive", t1)
+	}
+
+	m = CostModel{FLOPS: 1e12}.withDefaults()
+	if m.FLOPS != 1e12 {
+		t.Fatalf("explicit FLOPS overwritten: %+v", m)
+	}
+	if m.Alpha != def.Alpha || m.BetaIntra != def.BetaIntra || m.BetaInter != def.BetaInter {
+		t.Fatalf("communication fields must default, got %+v", m)
+	}
+
+	if m := (CostModel{}).withDefaults(); m != def {
+		t.Fatalf("zero model must equal the full preset, got %+v", m)
+	}
+}
+
+func TestCostModelNegativeFieldPanics(t *testing.T) {
+	for _, bad := range []CostModel{
+		{FLOPS: -1},
+		{Alpha: -1e-6},
+		{BetaIntra: -1},
+		{BetaInter: -1},
+		{FLOPS: math.NaN()},
+		{Alpha: math.Inf(1)},
+		{FLOPS: math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("model %+v must panic", bad)
+				}
+			}()
+			bad.withDefaults()
+		}()
+	}
+}
+
+func TestClusterWithPartialCostModelHasFiniteClocks(t *testing.T) {
+	c := New(Config{WorldSize: 2, Cost: CostModel{Alpha: 1e-6}})
+	if err := c.Run(func(w *Worker) error {
+		w.Compute(1e9)
+		w.Cluster().WorldGroup().Barrier(w)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mc := c.MaxClock(); math.IsInf(mc, 0) || math.IsNaN(mc) || mc <= 0 {
+		t.Fatalf("simulated clock %g must be finite and positive", mc)
+	}
+}

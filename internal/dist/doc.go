@@ -37,12 +37,29 @@
 // a Tesseract parameter bit-identical: one sum is computed once, then
 // cloned.
 //
+// Hot paths that would immediately copy or discard those snapshots use the
+// destination-passing variants instead: BroadcastInto copies the root's
+// payload into every member's own buffer while all members are still parked
+// at the rendezvous (no snapshot clone, and the root may mutate its payload
+// the moment the call returns), ReduceInto accumulates the binomial-tree
+// sum straight into the root's accumulator, and AllReduceInto lands each
+// member's copy in a caller-supplied destination that may alias its input —
+// an in-place all-reduce. All three are bit-identical to their cloning
+// counterparts and charge the same simulated time; their contract that
+// every cross-member read completes before any member returns is what lets
+// SUMMA reuse one receive panel and one partial buffer across all of its
+// iterations (see tensor.Workspace for the ownership rules). Each Worker
+// carries a tensor.Workspace (Worker.Workspace) so those buffers are pooled
+// per rank without locking.
+//
 // Every collective ends at a rendezvous where the last arriver advances all
 // member clocks to max(clock) + simulated op time and records the operation
-// once in the cluster statistics. Because the simulated cost depends only
-// on shapes and group topology — never on data or goroutine scheduling —
-// phantom-mode runs charge exactly the clock of the real execution, and
-// repeated runs are deterministic.
+// once in the cluster statistics. Rendezvous rounds and their wake-up
+// channels are recycled per group, so a steady-state collective allocates
+// nothing. Because the simulated cost depends only on shapes and group
+// topology — never on data or goroutine scheduling — phantom-mode runs
+// charge exactly the clock of the real execution, and repeated runs are
+// deterministic.
 //
 // # Cost model
 //

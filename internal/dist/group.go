@@ -20,19 +20,31 @@ type Group struct {
 
 	mail *mailboxSet // tree edges, keyed by group index pairs
 
-	mu  sync.Mutex
-	cur *round
+	mu    sync.Mutex
+	cur   *round
+	spare []*round // retired rounds, recycled to keep collectives off the allocator
 }
 
 // round is one in-flight collective: a rendezvous that collects every
-// member's clock (and optional payload slot), then lets the last arriver
-// compute the outcome exactly once.
+// member's clock (and optional payload/destination slots), then lets the
+// last arriver compute the outcome exactly once. Rounds are recycled: after
+// every member has extracted its outcome and called retire, the round
+// returns to the group's spare list and the next collective reuses it.
+//
+// done is a buffered token channel rather than a closed one so it survives
+// recycling: the last arriver deposits exactly one token per parked member,
+// each waiter consumes exactly one, and the drained channel is ready for
+// the next round without reallocation. (A round abandoned by an abort may
+// hold stale tokens, but such a round is never recycled — its members never
+// all retire.)
 type round struct {
 	op      string
 	root    int
 	arrived int
+	exited  int
 	clocks  []float64
 	slots   []*tensor.Matrix
+	dsts    []*tensor.Matrix
 	done    chan struct{}
 
 	newClock float64
@@ -83,22 +95,20 @@ func (g *Group) mustIndex(w *Worker, op string) int {
 	return idx
 }
 
-// rendezvous parks the caller in the current round (creating it on first
-// arrival), runs finish exactly once when the last member arrives, and
-// advances the caller's clock to the agreed post-op time. It unblocks with
-// an abort unwind if the cluster dies while waiting.
-func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot *tensor.Matrix, finish func(r *round)) *round {
+// rendezvous parks the caller in the current round (creating or recycling
+// it on first arrival), runs finish exactly once when the last member
+// arrives, and advances the caller's clock to the agreed post-op time. It
+// unblocks with an abort unwind if the cluster dies while waiting.
+//
+// The returned round is only valid until the caller retires it: every
+// member must call g.retire(r) after reading what it needs (result, slots),
+// at which point the round may be handed to the next collective.
+func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot, dst *tensor.Matrix, finish func(r *round)) *round {
 	w.c.checkAbort()
 	g.mu.Lock()
 	r := g.cur
 	if r == nil {
-		r = &round{
-			op:     op,
-			root:   root,
-			clocks: make([]float64, len(g.ranks)),
-			slots:  make([]*tensor.Matrix, len(g.ranks)),
-			done:   make(chan struct{}),
-		}
+		r = g.newRound(op, root)
 		g.cur = r
 	}
 	if r.op != op || r.root != root {
@@ -108,12 +118,15 @@ func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot *tensor
 	}
 	r.clocks[idx] = w.clock
 	r.slots[idx] = slot
+	r.dsts[idx] = dst
 	r.arrived++
 	last := r.arrived == len(g.ranks)
 	if last {
 		g.cur = nil
 		finish(r)
-		close(r.done)
+		for i := 0; i < len(g.ranks)-1; i++ {
+			r.done <- struct{}{}
+		}
 	}
 	g.mu.Unlock()
 	if !last {
@@ -125,6 +138,53 @@ func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot *tensor
 	}
 	w.clock = r.newClock
 	return r
+}
+
+// newRound recycles a spare round or allocates the group's first few. The
+// caller must hold g.mu.
+func (g *Group) newRound(op string, root int) *round {
+	n := len(g.ranks)
+	if s := len(g.spare); s > 0 {
+		r := g.spare[s-1]
+		g.spare[s-1] = nil
+		g.spare = g.spare[:s-1]
+		r.op, r.root = op, root
+		r.arrived, r.exited = 0, 0
+		for i := 0; i < n; i++ {
+			r.clocks[i] = 0
+			r.slots[i], r.dsts[i] = nil, nil
+		}
+		r.newClock, r.result = 0, nil
+		return r
+	}
+	return &round{
+		op:     op,
+		root:   root,
+		clocks: make([]float64, n),
+		slots:  make([]*tensor.Matrix, n),
+		dsts:   make([]*tensor.Matrix, n),
+		done:   make(chan struct{}, n),
+	}
+}
+
+// retire signals that the caller is done reading r. The last member to
+// retire returns the round to the spare list; until then recycling is
+// blocked, so parked members can still read the outcome safely. A member
+// unwound by an abort never retires — that round is simply dropped to the
+// garbage collector along with the poisoned cluster.
+func (g *Group) retire(r *round) {
+	g.mu.Lock()
+	r.exited++
+	if r.exited == len(g.ranks) {
+		// Drop payload references now rather than at reuse: a group that
+		// goes quiet must not pin its last collective's matrices.
+		for i := range r.slots {
+			r.slots[i], r.dsts[i] = nil, nil
+		}
+		r.result = nil
+		g.spare = append(g.spare, r)
+	}
+	g.mu.Unlock()
 }
 
 // vpos maps a group index to its virtual position in a tree rooted at
@@ -156,23 +216,34 @@ func (g *Group) recvEdge(w *Worker, from, to int) packet {
 }
 
 // treeReduce runs a binomial reduction toward rootIdx. The caller's matrix
-// is never mutated: the first subtree arrival allocates this member's
+// is never mutated: the first subtree arrival provides this member's
 // accumulator, which is then reused in place for every further arrival and
 // handed to the parent as the subtree sum. Returns the full sum at the
-// root (always an owned buffer) and nil elsewhere.
-func (g *Group) treeReduce(w *Worker, idx, rootIdx int, m *tensor.Matrix) *tensor.Matrix {
+// root (always an owned, non-pooled buffer — it escapes to the collective's
+// caller) and nil elsewhere.
+//
+// Interior nodes (non-root members with subtree children) draw their
+// accumulator from the worker's workspace instead of allocating; it comes
+// back as scratch, and the collective recycles it after its closing
+// rendezvous — by which point the parent is guaranteed to have consumed it,
+// since the parent cannot reach the rendezvous before finishing its adds.
+func (g *Group) treeReduce(w *Worker, idx, rootIdx int, m *tensor.Matrix) (sum, scratch *tensor.Matrix) {
 	n := len(g.ranks)
 	v := g.vpos(idx, rootIdx)
 	acc, owned := m, false
 	for step := 1; step < n; step <<= 1 {
 		if v&step != 0 {
 			g.sendEdge(idx, g.rpos(v-step, rootIdx), packet{m: acc})
-			return nil
+			return nil, scratch
 		}
 		if v+step < n {
 			p := g.recvEdge(w, g.rpos(v+step, rootIdx), idx)
 			if owned {
 				tensor.AddInPlace(acc, p.m)
+			} else if v != 0 {
+				scratch = w.Workspace().GetUninitMatch(m.Rows, m.Cols, m.Phantom() || p.m.Phantom())
+				tensor.AddTo(scratch, m, p.m)
+				acc, owned = scratch, true
 			} else {
 				acc, owned = tensor.Add(acc, p.m), true
 			}
@@ -183,7 +254,35 @@ func (g *Group) treeReduce(w *Worker, idx, rootIdx int, m *tensor.Matrix) *tenso
 		// caller may mutate the result.
 		acc = acc.Clone()
 	}
-	return acc
+	return acc, scratch
+}
+
+// treeReduceInto is treeReduce for a root that supplies its own accumulator:
+// the root's subtree arrivals sum into dst (same arrival order, so the
+// association — and therefore every bit — matches treeReduce), and dst may
+// alias m. Non-root members run the unchanged sending protocol and return a
+// nil sum; only the root may pass a non-nil dst. Like treeReduce it hands
+// back interior-node scratch for the collective to recycle after its
+// rendezvous.
+func (g *Group) treeReduceInto(w *Worker, idx, rootIdx int, m, dst *tensor.Matrix) (sum, scratch *tensor.Matrix) {
+	if idx != rootIdx {
+		return g.treeReduce(w, idx, rootIdx, m)
+	}
+	n := len(g.ranks)
+	first := true
+	for step := 1; step < n; step <<= 1 {
+		p := g.recvEdge(w, g.rpos(step, rootIdx), idx)
+		if first {
+			tensor.AddTo(dst, m, p.m)
+			first = false
+		} else {
+			tensor.AddInPlace(dst, p.m)
+		}
+	}
+	if first {
+		tensor.CopyInto(dst, m)
+	}
+	return dst, nil
 }
 
 // treeBcast pushes m down a binomial tree from rootIdx. The root passes the

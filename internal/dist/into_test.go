@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// errRankf wraps a formatted error with the failing rank so it surfaces
+// through the cluster's abort machinery.
+func errRankf(w *Worker, format string, args ...any) error {
+	return fmt.Errorf("rank %d: %s", w.Rank(), fmt.Sprintf(format, args...))
+}
+
+// fillRank gives each rank a distinct deterministic matrix.
+func fillRank(rank, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float64(rank*1000+i) * 0.5
+	}
+	return m
+}
+
+func TestBroadcastIntoMatchesBroadcast(t *testing.T) {
+	const n, root = 4, 2
+	want := make([]*tensor.Matrix, n)
+	got := make([]*tensor.Matrix, n)
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		var payload *tensor.Matrix
+		if w.Rank() == root {
+			payload = fillRank(root, 3, 5)
+		}
+		want[w.Rank()] = g.Broadcast(w, root, payload)
+
+		dst := tensor.New(3, 5)
+		if w.Rank() == root {
+			dst = fillRank(root, 3, 5)
+			g.BroadcastInto(w, root, dst, dst)
+		} else {
+			g.BroadcastInto(w, root, nil, dst)
+		}
+		got[w.Rank()] = dst
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		if !want[r].Equal(got[r]) {
+			t.Fatalf("rank %d: BroadcastInto differs from Broadcast", r)
+		}
+	}
+}
+
+func TestBroadcastIntoRootMayMutateImmediately(t *testing.T) {
+	// The documented contract: no member aliases the root's payload after
+	// return, so the root may overwrite it while peers still hold their
+	// copies.
+	const n, root = 4, 0
+	got := make([]*tensor.Matrix, n)
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		if w.Rank() == root {
+			payload := fillRank(7, 2, 2)
+			g.BroadcastInto(w, root, payload, payload)
+			payload.Fill(-1) // must not be visible to any peer
+			got[w.Rank()] = fillRank(7, 2, 2)
+		} else {
+			dst := tensor.New(2, 2)
+			g.BroadcastInto(w, root, nil, dst)
+			got[w.Rank()] = dst
+		}
+		return nil
+	})
+	want := fillRank(7, 2, 2)
+	for r := 1; r < n; r++ {
+		if !got[r].Equal(want) {
+			t.Fatalf("rank %d saw the root's post-broadcast mutation", r)
+		}
+	}
+}
+
+func TestReduceIntoMatchesReduceBitwise(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		const root = 0
+		var want, got *tensor.Matrix
+		runWorld(t, n, func(w *Worker) error {
+			g := w.Cluster().WorldGroup()
+			m := fillRank(w.Rank(), 4, 4)
+			r := g.Reduce(w, root, m)
+			var dst *tensor.Matrix
+			if w.Rank() == root {
+				dst = tensor.New(4, 4)
+			}
+			r2 := g.ReduceInto(w, root, fillRank(w.Rank(), 4, 4), dst)
+			if w.Rank() == root {
+				want, got = r, r2
+			} else if r2 != nil {
+				t.Errorf("n=%d rank %d: non-root ReduceInto must return nil", n, w.Rank())
+			}
+			return nil
+		})
+		if !want.Equal(got) {
+			t.Fatalf("n=%d: ReduceInto differs bitwise from Reduce", n)
+		}
+	}
+}
+
+func TestAllReduceIntoMatchesAllReduceBitwise(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		want := make([]*tensor.Matrix, n)
+		got := make([]*tensor.Matrix, n)
+		runWorld(t, n, func(w *Worker) error {
+			g := w.Cluster().WorldGroup()
+			want[w.Rank()] = g.AllReduce(w, fillRank(w.Rank(), 3, 3))
+			// In-place variant: dst aliases m.
+			m := fillRank(w.Rank(), 3, 3)
+			out := g.AllReduceInto(w, m, m)
+			if out != m {
+				t.Errorf("AllReduceInto must return dst")
+			}
+			got[w.Rank()] = out
+			return nil
+		})
+		for r := 0; r < n; r++ {
+			if !want[r].Equal(got[r]) {
+				t.Fatalf("n=%d rank %d: in-place AllReduceInto differs bitwise from AllReduce", n, r)
+			}
+		}
+	}
+}
+
+func TestReduceIntoConsumesPartialBeforeReturn(t *testing.T) {
+	// SUMMA's reuse contract: a member may overwrite its partial the moment
+	// ReduceInto returns. Run q rounds reusing one buffer per member and
+	// check the root sums against fresh-buffer Reduce.
+	const n, rounds = 4, 3
+	sums := make([]*tensor.Matrix, rounds)
+	wants := make([]*tensor.Matrix, rounds)
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		partial := tensor.New(2, 2)
+		var dst *tensor.Matrix
+		if w.Rank() == 0 {
+			dst = tensor.New(2, 2)
+		}
+		for round := 0; round < rounds; round++ {
+			src := fillRank(w.Rank()+round*10, 2, 2)
+			copy(partial.Data, src.Data)
+			r := g.ReduceInto(w, 0, partial, dst)
+			if w.Rank() == 0 {
+				sums[round] = r.Clone()
+			}
+		}
+		for round := 0; round < rounds; round++ {
+			r := g.Reduce(w, 0, fillRank(w.Rank()+round*10, 2, 2))
+			if w.Rank() == 0 {
+				wants[round] = r
+			}
+		}
+		return nil
+	})
+	for round := 0; round < rounds; round++ {
+		if !wants[round].Equal(sums[round]) {
+			t.Fatalf("round %d: reused-partial ReduceInto corrupted the sum", round)
+		}
+	}
+}
+
+func TestIntoCollectivesSteadyStateAllocationFree(t *testing.T) {
+	// Groups larger than two have interior tree nodes whose accumulators
+	// used to be fresh allocations. They now come from the worker's pool,
+	// so after a warm-up round the workspace must stop allocating — on an
+	// 8-member group, not just the benchmarked pairs.
+	const n, rounds = 8, 5
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		m := fillRank(w.Rank(), 4, 4)
+		dst := tensor.New(4, 4)
+		var warm tensor.WorkspaceStats
+		for round := 0; round < rounds; round++ {
+			g.AllReduceInto(w, m, dst)
+			var rdst *tensor.Matrix
+			if w.Rank() == 0 {
+				rdst = dst
+			}
+			g.ReduceInto(w, 0, m, rdst)
+			s := w.Workspace().Stats()
+			if round == 0 {
+				warm = s
+				continue
+			}
+			if s.Allocs != warm.Allocs {
+				return errRankf(w, "round %d allocated: %d pool misses vs %d after warm-up", round, s.Allocs, warm.Allocs)
+			}
+			if s.Live != 0 {
+				return errRankf(w, "round %d leaked %d collective scratch buffers", round, s.Live)
+			}
+		}
+		return nil
+	})
+}
+
+func TestIntoCollectivesPropagatePhantoms(t *testing.T) {
+	runWorld(t, 4, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		ph := tensor.NewPhantom(4, 4)
+		dst := tensor.NewPhantom(4, 4)
+		if out := g.AllReduceInto(w, ph, dst); !out.Phantom() {
+			t.Error("phantom all-reduce-into must stay phantom")
+		}
+		if w.Rank() == 1 {
+			g.BroadcastInto(w, 1, ph, ph)
+		} else {
+			if out := g.BroadcastInto(w, 1, nil, tensor.NewPhantom(4, 4)); !out.Phantom() {
+				t.Error("phantom broadcast-into must stay phantom")
+			}
+		}
+		return nil
+	})
+}
+
+func TestIntoCollectivesChargeLikeClassic(t *testing.T) {
+	// Same payload, same group: the Into variants must advance the
+	// simulated clocks exactly as the snapshot/cloning variants do.
+	timeOf := func(fn func(w *Worker, g *Group)) float64 {
+		c := New(Config{WorldSize: 4})
+		if err := c.Run(func(w *Worker) error {
+			fn(w, c.WorldGroup())
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxClock()
+	}
+	classic := timeOf(func(w *Worker, g *Group) {
+		var payload *tensor.Matrix
+		if w.Rank() == 0 {
+			payload = tensor.New(8, 8)
+		}
+		g.Broadcast(w, 0, payload)
+		g.Reduce(w, 0, tensor.New(8, 8))
+		g.AllReduce(w, tensor.New(8, 8))
+	})
+	into := timeOf(func(w *Worker, g *Group) {
+		m := tensor.New(8, 8)
+		if w.Rank() == 0 {
+			g.BroadcastInto(w, 0, m, m)
+		} else {
+			g.BroadcastInto(w, 0, nil, m)
+		}
+		var dst *tensor.Matrix
+		if w.Rank() == 0 {
+			dst = tensor.New(8, 8)
+		}
+		g.ReduceInto(w, 0, m, dst)
+		g.AllReduceInto(w, m, m)
+	})
+	if classic != into {
+		t.Fatalf("simulated time drifted: classic %g vs into %g", classic, into)
+	}
+}

@@ -17,10 +17,13 @@ type packet struct {
 // mailbox is an unbounded FIFO between one (sender, receiver) pair. Sends
 // never block; receives block abort-aware. Unboundedness means schedules
 // like Cannon's "everybody sends, then everybody receives" can never
-// deadlock on channel capacity.
+// deadlock on channel capacity. The queue drains via a head index and
+// rewinds to the front whenever it empties, so the backing array is reused
+// forever: a steady-state exchange enqueues without allocating.
 type mailbox struct {
 	mu     sync.Mutex
 	queue  []packet
+	head   int
 	notify chan struct{} // capacity 1: wake-up token for the single receiver
 }
 
@@ -44,9 +47,14 @@ func (b *mailbox) put(p packet) {
 func (b *mailbox) take(abort <-chan struct{}) (p packet, ok bool) {
 	for {
 		b.mu.Lock()
-		if len(b.queue) > 0 {
-			p = b.queue[0]
-			b.queue = b.queue[1:]
+		if b.head < len(b.queue) {
+			p = b.queue[b.head]
+			b.queue[b.head] = packet{}
+			b.head++
+			if b.head == len(b.queue) {
+				b.queue = b.queue[:0]
+				b.head = 0
+			}
 			b.mu.Unlock()
 			return p, true
 		}

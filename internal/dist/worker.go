@@ -13,6 +13,7 @@ type Worker struct {
 	c     *Cluster
 	rank  int
 	clock float64 // simulated seconds since the last ResetClocks
+	ws    *tensor.Workspace
 }
 
 // Rank returns the cluster rank.
@@ -20,6 +21,18 @@ func (w *Worker) Rank() int { return w.rank }
 
 // Cluster returns the owning cluster.
 func (w *Worker) Cluster() *Cluster { return w.c }
+
+// Workspace returns this worker's buffer pool, creating it on first use. It
+// persists across cluster runs, so steady-state training steps recycle every
+// panel, partial and activation instead of allocating. Like every Worker
+// method it must be called from the worker's own goroutine; see
+// tensor.Workspace for the ownership and lifetime rules.
+func (w *Worker) Workspace() *tensor.Workspace {
+	if w.ws == nil {
+		w.ws = tensor.NewWorkspace()
+	}
+	return w.ws
+}
 
 // Compute advances the simulated clock by flops at the model's FLOPS rate.
 func (w *Worker) Compute(flops float64) {

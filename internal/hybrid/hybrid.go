@@ -179,6 +179,20 @@ func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	return dy
 }
 
+// EndStep recycles this worker's workspace buffers at a training-step
+// boundary. Unlike a pure Tesseract mesh — where every cross-worker read
+// completes inside a collective — the pipeline hands activation and
+// gradient buffers to adjacent stages by pointer, and the receiving stage
+// may still be reading them when this worker's Backward returns. EndStep
+// therefore runs a world barrier first: every worker must call it at the
+// same point (after the optimiser update), and only once all have arrived
+// is it safe for each to release.
+func (p *Proc) EndStep() {
+	w := p.Tess.W
+	w.Cluster().WorldGroup().Barrier(w)
+	w.Workspace().ReleaseAll()
+}
+
 // syncGradients averages parameter gradients across data-parallel replicas.
 func (p *Proc) syncGradients() {
 	if p.Cfg.DataParallel == 1 {

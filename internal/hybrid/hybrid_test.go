@@ -114,6 +114,7 @@ func TestTensorPipelineMatchesSerial(t *testing.T) {
 		if p.Stage == 0 {
 			dxs.Put(w.Rank(), p.Tess.CollectA(dx))
 		}
+		p.EndStep() // step boundary: barrier, then recycle the pipeline's buffers
 		return nil
 	})
 	// Last-stage processors hold y; stage-0 processors hold dx.

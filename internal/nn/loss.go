@@ -29,10 +29,17 @@ func CrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix)
 	return loss / n, grad
 }
 
-// Accuracy returns the fraction of rows whose argmax equals the label.
-func Accuracy(logits *tensor.Matrix, labels []int) float64 {
-	if logits.Rows == 0 {
-		return 0
+// CorrectCount returns the number of rows whose argmax equals the label —
+// the primitive trainers must use to accumulate accuracy across batches.
+// Counting via int(Accuracy(...)·n) round-trips the count through a float64
+// division and truncates downward (29 correct of 100 → 0.29·100 =
+// 28.999… → 28), silently under-reporting accuracy; CorrectCount never
+// leaves the integers. Extra logits rows beyond len(labels) are ignored,
+// which is exactly what a padded distributed eval batch needs; more labels
+// than rows is a caller bug and panics.
+func CorrectCount(logits *tensor.Matrix, labels []int) int {
+	if len(labels) > logits.Rows {
+		panic(fmt.Sprintf("nn: CorrectCount got %d labels for %d logit rows", len(labels), logits.Rows))
 	}
 	pred := tensor.ArgmaxRows(logits)
 	correct := 0
@@ -41,7 +48,17 @@ func Accuracy(logits *tensor.Matrix, labels []int) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(labels))
+	return correct
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label. Like
+// CorrectCount it tolerates extra logits rows and panics, rather than
+// indexing out of range, when labels outnumber rows.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 || len(labels) == 0 {
+		return 0
+	}
+	return float64(CorrectCount(logits, labels)) / float64(len(labels))
 }
 
 // MSE computes the mean squared error between pred and target along with the

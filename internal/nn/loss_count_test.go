@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// countLogits builds n single-column-pair logits where exactly `correct`
+// rows have argmax equal to their label.
+func countLogits(n, correct int) (*tensor.Matrix, []int) {
+	logits := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = 1
+		if i < correct {
+			logits.Set(i, 1, 2) // argmax 1 == label
+		} else {
+			logits.Set(i, 0, 2) // argmax 0 != label
+		}
+	}
+	return logits, labels
+}
+
+// TestCorrectCountAvoidsFloatTruncation pins the trainer bug this fixes:
+// int(Accuracy·n) truncates the float64 round-trip and undercounts (29/100
+// → 0.29·100 = 28.999… → 28). CorrectCount stays in the integers.
+func TestCorrectCountAvoidsFloatTruncation(t *testing.T) {
+	logits, labels := countLogits(100, 29)
+	if got := CorrectCount(logits, labels); got != 29 {
+		t.Fatalf("CorrectCount = %d, want 29", got)
+	}
+	// The expression the trainers used to evaluate — kept here as the
+	// counter-example that motivates CorrectCount.
+	if old := int(Accuracy(logits, labels) * float64(len(labels))); old == 29 {
+		t.Fatal("the float round-trip no longer truncates — this regression test needs a new counter-example")
+	}
+	// The truncation is not an isolated fluke: sweep every count at n=100
+	// and require CorrectCount exact throughout.
+	for c := 0; c <= 100; c++ {
+		logits, labels := countLogits(100, c)
+		if got := CorrectCount(logits, labels); got != c {
+			t.Fatalf("CorrectCount(%d/100) = %d", c, got)
+		}
+	}
+}
+
+func TestCorrectCountIgnoresExtraLogitRows(t *testing.T) {
+	// Padded distributed eval: logits may have more rows than labels; only
+	// labelled rows count.
+	logits, labels := countLogits(8, 8)
+	if got := CorrectCount(logits, labels[:5]); got != 5 {
+		t.Fatalf("CorrectCount over 5 labels of 8 rows = %d, want 5", got)
+	}
+}
+
+func TestCorrectCountPanicsOnTooManyLabels(t *testing.T) {
+	logits, _ := countLogits(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CorrectCount with more labels than rows must panic with a clear message")
+		}
+	}()
+	CorrectCount(logits, []int{1, 1, 1, 1})
+}
+
+func TestAccuracyHardenedAgainstTooManyLabels(t *testing.T) {
+	// Regression: this used to be an opaque index-out-of-range runtime
+	// panic from pred[i]; it must now be an explicit shape panic that
+	// names the mismatch.
+	logits, _ := countLogits(2, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Accuracy with more labels than rows must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "labels") {
+			t.Fatalf("want a clear shape panic naming the label mismatch, got %v", r)
+		}
+	}()
+	Accuracy(logits, []int{1, 1, 1})
+}
+
+func TestAccuracyEmptyInputs(t *testing.T) {
+	if a := Accuracy(tensor.New(0, 2), nil); a != 0 {
+		t.Fatalf("empty logits accuracy = %g", a)
+	}
+	logits, _ := countLogits(3, 3)
+	if a := Accuracy(logits, nil); a != 0 {
+		t.Fatalf("no-label accuracy = %g", a)
+	}
+}

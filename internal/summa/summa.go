@@ -25,21 +25,26 @@ import (
 // MulAB computes the SUMMA product C = A·B over the caller's layer.
 // a is the caller's A block (any row count), b the caller's B block; the
 // result has a.Rows × b.Cols and the same distribution as A.
+//
+// The returned matrix is drawn from the calling worker's workspace: the
+// caller owns it and is responsible for recycling it (Put once its last
+// reader is done, or the step-boundary ReleaseAll). One receive panel per
+// operand is reused across all q broadcast iterations, so a steady-state
+// call allocates nothing.
 func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("summa: MulAB local blocks %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	var c *tensor.Matrix
-	if a.Phantom() || b.Phantom() {
-		c = tensor.NewPhantom(a.Rows, b.Cols)
-	} else {
-		c = tensor.New(a.Rows, b.Cols)
-	}
+	ws := p.W.Workspace()
+	c := ws.GetMatch(a.Rows, b.Cols, a.Phantom() || b.Phantom())
+	aPanel := ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
+	bPanel := ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
 	for t := 0; t < p.Shape.Q; t++ {
-		aPanel := bcastRow(p, t, a)
-		bPanel := bcastCol(p, t, b)
-		compute.MatMulInto(p.W, c, aPanel, bPanel)
+		ap := bcastRowInto(p, t, a, aPanel)
+		bp := bcastColInto(p, t, b, bPanel)
+		compute.MatMulInto(p.W, c, ap, bp)
 	}
+	ws.Put(aPanel, bPanel)
 	return c
 }
 
@@ -52,25 +57,39 @@ func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 // Iteration j broadcasts B[j, t] down each grid column t, multiplies against
 // the resident A block, and reduces the partials across the row to processor
 // (i, j) — the schedule described in §3.1 of the paper.
+//
+// Like MulAB it reuses one receive panel and one partial buffer across all
+// q iterations — ReduceInto guarantees every member's partial is fully
+// consumed before the collective returns, so overwriting it next iteration
+// is safe — and the returned matrix is a workspace buffer owned by the
+// caller.
 func MulABT(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("summa: MulABT local blocks %dx%d by %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	ws := p.W.Workspace()
+	ph := a.Phantom() || b.Phantom()
+	bPanel := ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
+	partial := ws.GetUninitMatch(a.Rows, b.Rows, ph)
 	var out *tensor.Matrix
 	for j := 0; j < p.Shape.Q; j++ {
 		// B[j, J] lives on grid row j of every column; broadcast it down
 		// the column so each processor can form its partial product.
-		var payload *tensor.Matrix
+		var bp *tensor.Matrix
 		if p.I == j {
-			payload = b
+			bp = p.Col.BroadcastInto(p.W, p.ColRank(j), b, b)
+		} else {
+			bp = p.Col.BroadcastInto(p.W, p.ColRank(j), nil, bPanel)
 		}
-		bPanel := p.Col.Broadcast(p.W, p.ColRank(j), payload)
-		partial := compute.MatMulNT(p.W, a, bPanel)
-		r := p.Row.Reduce(p.W, p.RowRank(j), partial)
+		compute.MatMulNTInto(p.W, partial, a, bp)
 		if p.J == j {
-			out = r
+			out = ws.GetUninitMatch(a.Rows, b.Rows, ph)
+			p.Row.ReduceInto(p.W, p.RowRank(j), partial, out)
+		} else {
+			p.Row.ReduceInto(p.W, p.RowRank(j), partial, nil)
 		}
 	}
+	ws.Put(bPanel, partial)
 	return out
 }
 
@@ -84,41 +103,48 @@ func MulABT(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 // against the resident right operand, and reduces the partials down the
 // column to processor (t, j). On a Tesseract mesh the caller must still
 // all-reduce the result across the depth group (the paper's §3.1 rule for
-// B'); this function handles one layer.
+// B'); this function handles one layer. The panel/partial reuse and the
+// caller-owned workspace result follow MulABT.
 func MulATB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("summa: MulATB local blocks %dx%dᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	ws := p.W.Workspace()
+	ph := a.Phantom() || b.Phantom()
+	aPanel := ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
+	partial := ws.GetUninitMatch(a.Cols, b.Cols, ph)
 	var out *tensor.Matrix
 	for t := 0; t < p.Shape.Q; t++ {
-		var payload *tensor.Matrix
-		if p.J == t {
-			payload = a
-		}
-		aPanel := p.Row.Broadcast(p.W, p.RowRank(t), payload)
-		partial := compute.MatMulTN(p.W, aPanel, b)
-		r := p.Col.Reduce(p.W, p.ColRank(t), partial)
+		ap := bcastRowInto(p, t, a, aPanel)
+		partial.Zero() // the TN kernel accumulates; start each partial fresh
+		compute.MatMulTNInto(p.W, partial, ap, b)
 		if p.I == t {
-			out = r
+			out = ws.GetUninitMatch(a.Cols, b.Cols, ph)
+			p.Col.ReduceInto(p.W, p.ColRank(t), partial, out)
+		} else {
+			p.Col.ReduceInto(p.W, p.ColRank(t), partial, nil)
 		}
 	}
+	ws.Put(aPanel, partial)
 	return out
 }
 
-func bcastRow(p *mesh.Proc, t int, a *tensor.Matrix) *tensor.Matrix {
-	var payload *tensor.Matrix
+// bcastRowInto broadcasts the iteration-t A panel along the grid row: the
+// owning processor shares its resident block directly (no copy), everyone
+// else receives into the reusable panel.
+func bcastRowInto(p *mesh.Proc, t int, a, panel *tensor.Matrix) *tensor.Matrix {
 	if p.J == t {
-		payload = a
+		return p.Row.BroadcastInto(p.W, p.RowRank(t), a, a)
 	}
-	return p.Row.Broadcast(p.W, p.RowRank(t), payload)
+	return p.Row.BroadcastInto(p.W, p.RowRank(t), nil, panel)
 }
 
-func bcastCol(p *mesh.Proc, t int, b *tensor.Matrix) *tensor.Matrix {
-	var payload *tensor.Matrix
+// bcastColInto is bcastRowInto for B panels down the grid column.
+func bcastColInto(p *mesh.Proc, t int, b, panel *tensor.Matrix) *tensor.Matrix {
 	if p.I == t {
-		payload = b
+		return p.Col.BroadcastInto(p.W, p.ColRank(t), b, b)
 	}
-	return p.Col.Broadcast(p.W, p.ColRank(t), payload)
+	return p.Col.BroadcastInto(p.W, p.ColRank(t), nil, panel)
 }
 
 // DistributeB slices a global matrix into the q×q B-distribution of the

@@ -26,6 +26,26 @@ func geluGradScalar(x float64) float64 {
 	return 0.5*(1+t) + 0.5*x*(1-t*t)*dinner
 }
 
+// ApplyTo computes dst = f(m) elementwise into an existing matrix. dst may
+// alias m.
+func ApplyTo(dst, m *Matrix, f func(float64) float64) {
+	if !dst.SameShape(m) {
+		panic("tensor: ApplyTo shape mismatch")
+	}
+	if phantomAny(dst, m) {
+		return
+	}
+	for i, v := range m.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// GELUTo computes dst = GELU(m) elementwise into an existing matrix.
+func GELUTo(dst, m *Matrix) { ApplyTo(dst, m, geluScalar) }
+
+// GELUGradTo computes dst = GELU'(m) elementwise into an existing matrix.
+func GELUGradTo(dst, m *Matrix) { ApplyTo(dst, m, geluGradScalar) }
+
 // ReLU applies max(0, x) elementwise.
 func ReLU(m *Matrix) *Matrix {
 	return Apply(m, func(x float64) float64 {
@@ -52,9 +72,22 @@ func SoftmaxRows(m *Matrix) *Matrix {
 		return NewPhantom(m.Rows, m.Cols)
 	}
 	out := New(m.Rows, m.Cols)
+	SoftmaxRowsTo(out, m)
+	return out
+}
+
+// SoftmaxRowsTo computes a numerically stable row softmax of m into dst.
+// dst may alias m.
+func SoftmaxRowsTo(dst, m *Matrix) {
+	if !dst.SameShape(m) {
+		panic("tensor: SoftmaxRowsTo shape mismatch")
+	}
+	if phantomAny(dst, m) {
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := dst.Data[i*m.Cols : (i+1)*m.Cols]
 		maxv := math.Inf(-1)
 		for _, v := range row {
 			if v > maxv {
@@ -72,7 +105,30 @@ func SoftmaxRows(m *Matrix) *Matrix {
 			orow[j] *= inv
 		}
 	}
-	return out
+}
+
+// SoftmaxRowsBackwardTo computes the input gradient of a row softmax into
+// dst given the softmax output s and the output gradient ds. dst may alias
+// ds (but not s, whose values feed every element of its row).
+func SoftmaxRowsBackwardTo(dst, s, ds *Matrix) {
+	if !s.SameShape(ds) || !dst.SameShape(s) {
+		panic("tensor: SoftmaxRowsBackwardTo shape mismatch")
+	}
+	if phantomAny(dst, s, ds) {
+		return
+	}
+	for i := 0; i < s.Rows; i++ {
+		srow := s.Data[i*s.Cols : (i+1)*s.Cols]
+		drow := ds.Data[i*s.Cols : (i+1)*s.Cols]
+		orow := dst.Data[i*s.Cols : (i+1)*s.Cols]
+		var dot float64
+		for j := range srow {
+			dot += srow[j] * drow[j]
+		}
+		for j := range srow {
+			orow[j] = srow[j] * (drow[j] - dot)
+		}
+	}
 }
 
 // SoftmaxRowsBackward returns the input gradient of a row softmax given the
@@ -86,17 +142,6 @@ func SoftmaxRowsBackward(s, ds *Matrix) *Matrix {
 		return NewPhantom(s.Rows, s.Cols)
 	}
 	out := New(s.Rows, s.Cols)
-	for i := 0; i < s.Rows; i++ {
-		srow := s.Data[i*s.Cols : (i+1)*s.Cols]
-		drow := ds.Data[i*s.Cols : (i+1)*s.Cols]
-		orow := out.Data[i*s.Cols : (i+1)*s.Cols]
-		var dot float64
-		for j := range srow {
-			dot += srow[j] * drow[j]
-		}
-		for j := range srow {
-			orow[j] = srow[j] * (drow[j] - dot)
-		}
-	}
+	SoftmaxRowsBackwardTo(out, s, ds)
 	return out
 }

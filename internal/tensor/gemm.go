@@ -70,10 +70,17 @@ func runBanded(rows, bands int, fn func(i0, i1 int)) {
 }
 
 // matMulAccum computes C += A·B on real matrices (the shared kernel behind
-// MatMul and MatMulInto).
+// MatMul and MatMulInto). The single-band fast path avoids constructing the
+// banding closure, which would otherwise be the only allocation of a small
+// GEMM — the training hot path must stay allocation-free.
 func matMulAccum(c, a, b *Matrix) {
 	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
-	runBanded(a.Rows, gemmBands(flops, a.Rows), func(i0, i1 int) {
+	bands := gemmBands(flops, a.Rows)
+	if bands <= 1 {
+		matMulAccumRows(c, a, b, 0, a.Rows)
+		return
+	}
+	runBanded(a.Rows, bands, func(i0, i1 int) {
 		matMulAccumRows(c, a, b, i0, i1)
 	})
 }
@@ -109,10 +116,16 @@ func matMulAccumRows(c, a, b *Matrix, i0, i1 int) {
 	}
 }
 
-// matMulNTKernel computes C = A·Bᵀ on real matrices (C pre-zeroed).
+// matMulNTKernel computes C = A·Bᵀ on real matrices (it overwrites C, never
+// reading it).
 func matMulNTKernel(c, a, b *Matrix) {
 	flops := 2 * float64(a.Rows) * float64(b.Rows) * float64(a.Cols)
-	runBanded(a.Rows, gemmBands(flops, a.Rows), func(i0, i1 int) {
+	bands := gemmBands(flops, a.Rows)
+	if bands <= 1 {
+		matMulNTRows(c, a, b, 0, a.Rows)
+		return
+	}
+	runBanded(a.Rows, bands, func(i0, i1 int) {
 		matMulNTRows(c, a, b, i0, i1)
 	})
 }
@@ -170,7 +183,12 @@ func matMulNTRows(c, a, b *Matrix, i0, i1 int) {
 // matMulTNKernel computes C = Aᵀ·B on real matrices (C pre-zeroed).
 func matMulTNKernel(c, a, b *Matrix) {
 	flops := 2 * float64(a.Cols) * float64(b.Cols) * float64(a.Rows)
-	runBanded(a.Cols, gemmBands(flops, a.Cols), func(i0, i1 int) {
+	bands := gemmBands(flops, a.Cols)
+	if bands <= 1 {
+		matMulTNRows(c, a, b, 0, a.Cols)
+		return
+	}
+	runBanded(a.Cols, bands, func(i0, i1 int) {
 		matMulTNRows(c, a, b, i0, i1)
 	})
 }

@@ -121,6 +121,37 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyInto copies src's elements into dst (equal shapes required). It is a
+// no-op when either side is phantom and when dst and src are the same
+// matrix, so collectives can treat "destination equals payload" uniformly.
+func CopyInto(dst, src *Matrix) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: CopyInto %dx%d from %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	if dst == src {
+		return
+	}
+	if (dst.Data == nil) != (src.Data == nil) {
+		panic(fmt.Sprintf("tensor: CopyInto phantomness mismatch (dst phantom=%v, src phantom=%v)", dst.Data == nil, src.Data == nil))
+	}
+	copy(dst.Data, src.Data)
+}
+
+// SubMatrixInto copies the dst.Rows×dst.Cols block of src starting at
+// (r0, c0) into dst — the pooled counterpart of SubMatrix. No-op when either
+// side is phantom.
+func SubMatrixInto(dst, src *Matrix, r0, c0 int) {
+	if r0 < 0 || c0 < 0 || r0+dst.Rows > src.Rows || c0+dst.Cols > src.Cols {
+		panic(fmt.Sprintf("tensor: SubMatrixInto (%d,%d)+%dx%d out of %dx%d", r0, c0, dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	if dst.Data == nil || src.Data == nil {
+		return
+	}
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Data[i*dst.Cols:(i+1)*dst.Cols], src.Data[(r0+i)*src.Cols+c0:(r0+i)*src.Cols+c0+dst.Cols])
+	}
+}
+
 // SameShape reports whether m and n have identical dimensions.
 func (m *Matrix) SameShape(n *Matrix) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
 

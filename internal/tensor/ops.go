@@ -69,6 +69,30 @@ func MatMulTN(a, b *Matrix) *Matrix {
 	return c
 }
 
+// MatMulNTInto computes C = A·Bᵀ into an existing matrix (A.Rows×B.Rows),
+// overwriting it — the NT kernel is dot-product shaped and never reads C.
+func MatMulNTInto(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNTInto %dx%d += %dx%d * %dx%dᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(c, a, b) {
+		return
+	}
+	matMulNTKernel(c, a, b)
+}
+
+// MatMulTNInto computes C += Aᵀ·B into an existing matrix (A.Cols×B.Cols).
+// Zero c first when an overwrite is wanted.
+func MatMulTNInto(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTNInto %dx%d += %dx%dᵀ * %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(c, a, b) {
+		return
+	}
+	matMulTNKernel(c, a, b)
+}
+
 // Transpose returns mᵀ.
 func Transpose(m *Matrix) *Matrix {
 	if m.Phantom() {
@@ -105,6 +129,34 @@ func zipWith(a, b *Matrix, f func(x, y float64) float64) *Matrix {
 		out.Data[i] = f(a.Data[i], b.Data[i])
 	}
 	return out
+}
+
+// AddTo computes dst = a + b elementwise into an existing matrix. dst may
+// alias either operand.
+func AddTo(dst, a, b *Matrix) {
+	if !a.SameShape(b) || !dst.SameShape(a) {
+		panic(fmt.Sprintf("tensor: AddTo %dx%d = %dx%d + %dx%d", dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(dst, a, b) {
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// MulTo computes dst = a ⊙ b elementwise into an existing matrix. dst may
+// alias either operand.
+func MulTo(dst, a, b *Matrix) {
+	if !a.SameShape(b) || !dst.SameShape(a) {
+		panic(fmt.Sprintf("tensor: MulTo %dx%d = %dx%d * %dx%d", dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if phantomAny(dst, a, b) {
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
 }
 
 // AddInPlace computes a += b.
@@ -158,9 +210,7 @@ func Apply(m *Matrix, f func(float64) float64) *Matrix {
 		return NewPhantom(m.Rows, m.Cols)
 	}
 	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = f(v)
-	}
+	ApplyTo(out, m, f)
 	return out
 }
 
@@ -173,15 +223,25 @@ func AddRowVector(m, v *Matrix) *Matrix {
 	if phantomAny(m, v) {
 		return NewPhantom(m.Rows, m.Cols)
 	}
-	out := New(m.Rows, m.Cols)
+	out := m.Clone()
+	AddRowVectorInPlace(out, v)
+	return out
+}
+
+// AddRowVectorInPlace adds the row vector v to every row of m.
+func AddRowVectorInPlace(m, v *Matrix) {
+	if v.Rows*v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInPlace %dx%d with vector of %d", m.Rows, m.Cols, v.Rows*v.Cols))
+	}
+	if phantomAny(m, v) {
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, bv := range v.Data {
-			orow[j] = row[j] + bv
+			row[j] = row[j] + bv
 		}
 	}
-	return out
 }
 
 // ColSums returns the 1×Cols vector of column sums — the bias gradient.
@@ -190,13 +250,48 @@ func ColSums(m *Matrix) *Matrix {
 		return NewPhantom(1, m.Cols)
 	}
 	out := New(1, m.Cols)
+	ColSumsInto(out, m)
+	return out
+}
+
+// ColSumsInto writes the column sums of m into the 1×Cols vector dst,
+// overwriting it.
+func ColSumsInto(dst, m *Matrix) {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto %dx%d from %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	if phantomAny(dst, m) {
+		return
+	}
+	for j := range dst.Data {
+		dst.Data[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, v := range row {
-			out.Data[j] += v
+			dst.Data[j] += v
 		}
 	}
-	return out
+}
+
+// RowSumsIntoCol writes the row sums of m into column col of dst (a matrix
+// with m.Rows rows), overwriting that column. It is the packing primitive
+// behind the fused layer-norm statistics message.
+func RowSumsIntoCol(dst *Matrix, col int, m *Matrix) {
+	if dst.Rows != m.Rows || col < 0 || col >= dst.Cols {
+		panic(fmt.Sprintf("tensor: RowSumsIntoCol col %d of %dx%d from %dx%d", col, dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	if phantomAny(dst, m) {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		dst.Data[i*dst.Cols+col] = s
+	}
 }
 
 // RowSums returns the Rows×1 vector of row sums.

@@ -1,0 +1,188 @@
+package tensor
+
+import "fmt"
+
+// Workspace is a shape-keyed buffer pool for matrices, built so the training
+// hot path stops allocating: every panel, partial and activation a step
+// needs is drawn from per-shape free lists and recycled instead of being
+// handed to the garbage collector.
+//
+// A workspace is intentionally NOT safe for concurrent use. Each simulated
+// worker owns exactly one (dist.Worker.Workspace), so the steady path takes
+// no locks. Buffers never migrate between workspaces: collectives that hand
+// matrices across workers either copy into the receiver's own buffers
+// (the *Into variants) or pass read-only references whose last read
+// completes before the collective returns.
+//
+// # Ownership and lifetime rules
+//
+// Get/GetUninit check a buffer out; it stays checked out until exactly one of
+//
+//   - Put(m): the holder returns it early. Only the current holder may Put,
+//     and only once — a double Put would hand the same storage to two users.
+//     Use Put for transient scratch whose last read is provably behind us:
+//     SUMMA receive panels, reduce partials, per-head attention scratch,
+//     broadcast bias buffers, and gradient intermediates (a layer's
+//     Backward never retains its input, so the owner of a gradient buffer
+//     may Put it once every Backward it was passed to has returned).
+//   - ReleaseAll(): the step boundary. Everything still checked out returns
+//     to the free lists at once. Forward-pass values ride to the step
+//     boundary: a layer's Forward may retain its input and its output for
+//     the backward pass (saved activations, attention probabilities,
+//     layer-norm statistics), so callers must never Put a buffer that
+//     crossed a Forward API — unless the callee documents that it does not
+//     retain it, as the tesseract layer norms do for their inputs.
+//
+// ReleaseAll may only run at a step boundary — after the optimiser step, or
+// after an evaluation forward whose outputs have been consumed — never
+// between a forward and its backward.
+//
+// # Collective boundaries
+//
+// The dist collectives complete all cross-worker reads before any member
+// returns, so a buffer used as a collective source or destination is again
+// exclusively owned the moment the call returns: it may be reused, Put, or
+// sent again immediately. Snapshot-free *Into collectives rely on this.
+//
+// # Phantoms
+//
+// The pool is phantom-aware: requesting a phantom shape yields a pooled
+// shape-only matrix (phantom flag is part of the free-list key, so a phantom
+// can never satisfy a real request or vice versa). Zeroing is skipped and
+// Put/ReleaseAll recycle the headers, keeping paper-scale phantom runs
+// allocation-free too.
+type Workspace struct {
+	free map[wsKey][]*Matrix
+	out  map[*Matrix]struct{}
+
+	pooling bool
+	stats   WorkspaceStats
+}
+
+type wsKey struct {
+	rows, cols int
+	phantom    bool
+}
+
+// WorkspaceStats is a point-in-time snapshot of pool behaviour.
+type WorkspaceStats struct {
+	// Allocs counts pool misses: Gets that had to allocate a new matrix.
+	// Flat Allocs across steps means the steady path never allocates.
+	Allocs int
+	// Gets counts all checkouts; Gets − Allocs hit a free list.
+	Gets int
+	// Live is the number of currently checked-out buffers.
+	Live int
+	// HighWater is the maximum Live ever observed — the arena footprint of
+	// one step. Flat HighWater across steps means no leak.
+	HighWater int
+}
+
+// NewWorkspace returns an empty pool with pooling enabled.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		free:    make(map[wsKey][]*Matrix),
+		out:     make(map[*Matrix]struct{}),
+		pooling: true,
+	}
+}
+
+// SetPooling toggles recycling. Disabled, Get/GetUninit degenerate to plain
+// allocation and Put/ReleaseAll drop their buffers — the allocating
+// reference path the bitwise property tests compare against.
+func (ws *Workspace) SetPooling(enabled bool) { ws.pooling = enabled }
+
+// Pooling reports whether recycling is enabled.
+func (ws *Workspace) Pooling() bool { return ws.pooling }
+
+// Stats returns a snapshot of the pool counters.
+func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
+
+// Get checks out a zeroed rows×cols matrix.
+func (ws *Workspace) Get(rows, cols int) *Matrix {
+	m := ws.GetUninit(rows, cols)
+	m.Zero()
+	return m
+}
+
+// GetUninit checks out a rows×cols matrix with unspecified contents. Use it
+// only for destinations that are fully overwritten before being read.
+func (ws *Workspace) GetUninit(rows, cols int) *Matrix {
+	return ws.get(wsKey{rows, cols, false})
+}
+
+// GetMatch is Get with the phantomness of the computation the buffer joins:
+// phantom inputs get a pooled shape-only matrix, real inputs a zeroed one.
+func (ws *Workspace) GetMatch(rows, cols int, phantom bool) *Matrix {
+	if phantom {
+		return ws.get(wsKey{rows, cols, true})
+	}
+	return ws.Get(rows, cols)
+}
+
+// GetUninitMatch is GetUninit with a phantom variant.
+func (ws *Workspace) GetUninitMatch(rows, cols int, phantom bool) *Matrix {
+	return ws.get(wsKey{rows, cols, phantom})
+}
+
+func (ws *Workspace) get(k wsKey) *Matrix {
+	checkDims(k.rows, k.cols)
+	ws.stats.Gets++
+	var m *Matrix
+	if list := ws.free[k]; ws.pooling && len(list) > 0 {
+		m = list[len(list)-1]
+		list[len(list)-1] = nil
+		ws.free[k] = list[:len(list)-1]
+	} else {
+		ws.stats.Allocs++
+		if k.phantom {
+			m = NewPhantom(k.rows, k.cols)
+		} else {
+			m = New(k.rows, k.cols)
+		}
+	}
+	if ws.pooling {
+		ws.out[m] = struct{}{}
+		ws.stats.Live++
+		if ws.stats.Live > ws.stats.HighWater {
+			ws.stats.HighWater = ws.stats.Live
+		}
+	}
+	return m
+}
+
+// Put returns checked-out buffers to their free lists. It panics on a matrix
+// this workspace does not consider checked out (double Put, never pooled, or
+// already swept by ReleaseAll) — each of those is an aliasing bug waiting to
+// hand one buffer to two holders. No-op when pooling is disabled.
+func (ws *Workspace) Put(ms ...*Matrix) {
+	if !ws.pooling {
+		return
+	}
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if _, ok := ws.out[m]; !ok {
+			panic(fmt.Sprintf("tensor: workspace Put of a %dx%d matrix that is not checked out", m.Rows, m.Cols))
+		}
+		delete(ws.out, m)
+		ws.stats.Live--
+		k := wsKey{m.Rows, m.Cols, m.Data == nil}
+		ws.free[k] = append(ws.free[k], m)
+	}
+}
+
+// ReleaseAll returns every checked-out buffer to the free lists — the step
+// boundary. See the ownership rules in the type comment for when it is safe.
+func (ws *Workspace) ReleaseAll() {
+	if !ws.pooling {
+		return
+	}
+	for m := range ws.out {
+		delete(ws.out, m)
+		k := wsKey{m.Rows, m.Cols, m.Data == nil}
+		ws.free[k] = append(ws.free[k], m)
+	}
+	ws.stats.Live = 0
+}

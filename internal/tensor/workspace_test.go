@@ -1,0 +1,121 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceReusesBuffers(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(4, 3)
+	a.Fill(7)
+	ws.Put(a)
+	b := ws.Get(4, 3)
+	if b != a {
+		t.Fatal("same-shape Get after Put should return the recycled buffer")
+	}
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatal("Get must hand back a zeroed buffer")
+		}
+	}
+	if s := ws.Stats(); s.Allocs != 1 || s.Gets != 2 {
+		t.Fatalf("stats %+v: want 1 alloc over 2 gets", s)
+	}
+}
+
+func TestWorkspaceGetUninitSkipsZeroing(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.GetUninit(2, 2)
+	a.Fill(3)
+	ws.Put(a)
+	b := ws.GetUninit(2, 2)
+	if b != a {
+		t.Fatal("expected recycled buffer")
+	}
+	if b.Data[0] != 3 {
+		t.Fatal("GetUninit must not pay for zeroing")
+	}
+}
+
+func TestWorkspaceShapeAndPhantomKeying(t *testing.T) {
+	ws := NewWorkspace()
+	real := ws.Get(2, 3)
+	ph := ws.GetMatch(2, 3, true)
+	if !ph.Phantom() || real.Phantom() {
+		t.Fatal("phantom request must yield a phantom, real a real")
+	}
+	ws.Put(real, ph)
+	if got := ws.GetMatch(2, 3, true); got != ph {
+		t.Fatal("phantom free list should recycle the phantom header")
+	}
+	if got := ws.Get(3, 2); got == real {
+		t.Fatal("a 3x2 request must not be satisfied by a 2x3 buffer")
+	}
+}
+
+func TestWorkspaceDoublePutPanics(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(1, 1)
+	ws.Put(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put must panic — it would alias one buffer to two holders")
+		}
+	}()
+	ws.Put(m)
+}
+
+func TestWorkspaceForeignPutPanics(t *testing.T) {
+	ws := NewWorkspace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a never-pooled matrix must panic")
+		}
+	}()
+	ws.Put(New(2, 2))
+}
+
+func TestWorkspaceReleaseAll(t *testing.T) {
+	ws := NewWorkspace()
+	a, b := ws.Get(2, 2), ws.Get(5, 1)
+	_ = a
+	_ = b
+	if s := ws.Stats(); s.Live != 2 || s.HighWater != 2 {
+		t.Fatalf("stats %+v: want live=highwater=2", s)
+	}
+	ws.ReleaseAll()
+	if s := ws.Stats(); s.Live != 0 {
+		t.Fatalf("stats %+v: want live=0 after ReleaseAll", s)
+	}
+	// Everything returned to the free lists: no new allocations.
+	ws.Get(2, 2)
+	ws.Get(5, 1)
+	if s := ws.Stats(); s.Allocs != 2 {
+		t.Fatalf("stats %+v: the released buffers should satisfy the next round", s)
+	}
+}
+
+func TestWorkspacePoolingDisabled(t *testing.T) {
+	ws := NewWorkspace()
+	ws.SetPooling(false)
+	a := ws.Get(2, 2)
+	ws.Put(a) // no-op, must not panic
+	if b := ws.Get(2, 2); b == a {
+		t.Fatal("with pooling disabled every Get must allocate fresh")
+	}
+	ws.ReleaseAll() // no-op
+	if s := ws.Stats(); s.Live != 0 || s.Allocs != 2 {
+		t.Fatalf("stats %+v: disabled pool should count allocs but track nothing", s)
+	}
+}
+
+func TestWorkspaceHighWater(t *testing.T) {
+	ws := NewWorkspace()
+	for step := 0; step < 4; step++ {
+		for i := 0; i < 3; i++ {
+			ws.Get(2, 2)
+		}
+		ws.ReleaseAll()
+	}
+	if s := ws.Stats(); s.HighWater != 3 || s.Allocs != 3 {
+		t.Fatalf("stats %+v: steady 3-buffer steps must hold high water and allocs at 3", s)
+	}
+}

@@ -78,13 +78,20 @@ func (a *Attention) Params() []*nn.Param {
 }
 
 // Forward runs attention over the local block x of shape [m̂, h/q], where
-// m̂ = b·s/(d·q) rows cover whole sequences.
+// m̂ = b·s/(d·q) rows cover whole sequences. The Q/K/V slices and the
+// per-head probabilities are retained for the backward pass in workspace
+// buffers, released at the step boundary.
 func (a *Attention) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	qkv := a.QKV.Forward(p, x)
 	hq := a.H / p.Shape.Q
-	aq := qkv.SubMatrix(0, 0, qkv.Rows, hq)
-	ak := qkv.SubMatrix(0, hq, qkv.Rows, hq)
-	av := qkv.SubMatrix(0, 2*hq, qkv.Rows, hq)
+	ph := qkv.Phantom()
+	aq := ws.GetUninitMatch(qkv.Rows, hq, ph)
+	ak := ws.GetUninitMatch(qkv.Rows, hq, ph)
+	av := ws.GetUninitMatch(qkv.Rows, hq, ph)
+	tensor.SubMatrixInto(aq, qkv, 0, 0)
+	tensor.SubMatrixInto(ak, qkv, 0, hq)
+	tensor.SubMatrixInto(av, qkv, 0, 2*hq)
 	a.q, a.k, a.v = aq, ak, av
 
 	out := a.attendForward(p, aq, ak, av)
@@ -96,6 +103,7 @@ func (a *Attention) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 // possibly fractional sequences-per-processor count (the paper's Table 1
 // includes shapes like [4,4,2] with batch 12, where b/(dq) = 1.5).
 func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	headsLocal := a.Heads / p.Shape.Q
 	dh := a.H / a.Heads
 	s := a.SeqLen
@@ -103,39 +111,54 @@ func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matri
 		seqF := float64(q.Rows) / float64(s)
 		perHead := 4*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
 		p.W.Compute(seqF * float64(headsLocal) * perHead)
-		return tensor.NewPhantom(q.Rows, q.Cols)
+		return ws.GetUninitMatch(q.Rows, q.Cols, true)
 	}
 	if q.Rows%s != 0 {
 		panic(fmt.Sprintf("tesseract: attention rows %d not divisible by seq len %d (batch must divide d*q)", q.Rows, s))
 	}
 	nseq := q.Rows / s
 	scale := 1 / math.Sqrt(float64(dh))
-	out := tensor.New(q.Rows, q.Cols)
-	a.probs = make([]*tensor.Matrix, 0, nseq*headsLocal)
+	out := ws.GetUninit(q.Rows, q.Cols) // every head block is overwritten below
+	a.probs = a.probs[:0]
+	qs := ws.GetUninit(s, dh)
+	ks := ws.GetUninit(s, dh)
+	vs := ws.GetUninit(s, dh)
+	scores := ws.GetUninit(s, s)
+	head := ws.GetUninit(s, dh)
 	for sq := 0; sq < nseq; sq++ {
 		for hd := 0; hd < headsLocal; hd++ {
-			qs := q.SubMatrix(sq*s, hd*dh, s, dh)
-			ks := k.SubMatrix(sq*s, hd*dh, s, dh)
-			vs := v.SubMatrix(sq*s, hd*dh, s, dh)
-			scores := tensor.Scale(scale, compute.MatMulNT(p.W, qs, ks))
-			probs := compute.SoftmaxRows(p.W, scores)
+			tensor.SubMatrixInto(qs, q, sq*s, hd*dh)
+			tensor.SubMatrixInto(ks, k, sq*s, hd*dh)
+			tensor.SubMatrixInto(vs, v, sq*s, hd*dh)
+			compute.MatMulNTInto(p.W, scores, qs, ks)
+			tensor.ScaleInPlace(scores, scale)
+			probs := ws.GetUninit(s, s) // retained for the backward pass
+			compute.SoftmaxRowsTo(p.W, probs, scores)
 			a.probs = append(a.probs, probs)
-			head := compute.MatMul(p.W, probs, vs)
+			head.Zero()
+			compute.MatMulInto(p.W, head, probs, vs)
 			out.SetSubMatrix(sq*s, hd*dh, head)
 		}
 	}
+	ws.Put(qs, ks, vs, scores, head)
 	return out
 }
 
 // Backward propagates through the attention module and returns the local
-// input gradient.
+// input gradient. Gradient intermediates are recycled as soon as their last
+// reader returns (no layer retains its Backward input).
 func (a *Attention) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	dout := a.Proj.Backward(p, dy)
 	dqkv := a.attendBackward(p, dout)
-	return a.QKV.Backward(p, dqkv)
+	ws.Put(dout)
+	dx := a.QKV.Backward(p, dqkv)
+	ws.Put(dqkv)
+	return dx
 }
 
 func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	headsLocal := a.Heads / p.Shape.Q
 	dh := a.H / a.Heads
 	s := a.SeqLen
@@ -144,29 +167,43 @@ func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix 
 		seqF := float64(dout.Rows) / float64(s)
 		perHead := 8*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
 		p.W.Compute(seqF * float64(headsLocal) * perHead)
-		return tensor.NewPhantom(dout.Rows, 3*hq)
+		return ws.GetUninitMatch(dout.Rows, 3*hq, true)
 	}
 	nseq := dout.Rows / s
 	scale := 1 / math.Sqrt(float64(dh))
-	dqkv := tensor.New(dout.Rows, 3*hq)
+	dqkv := ws.GetUninit(dout.Rows, 3*hq) // every block is overwritten below
+	dhead := ws.GetUninit(s, dh)
+	qs := ws.GetUninit(s, dh)
+	ks := ws.GetUninit(s, dh)
+	vs := ws.GetUninit(s, dh)
+	dvs := ws.GetUninit(s, dh)
+	dprobs := ws.GetUninit(s, s)
+	dscores := ws.GetUninit(s, s)
+	dqs := ws.GetUninit(s, dh)
+	dks := ws.GetUninit(s, dh)
 	for sq := 0; sq < nseq; sq++ {
 		for hd := 0; hd < headsLocal; hd++ {
 			probs := a.probs[sq*headsLocal+hd]
-			dhead := dout.SubMatrix(sq*s, hd*dh, s, dh)
-			qs := a.q.SubMatrix(sq*s, hd*dh, s, dh)
-			ks := a.k.SubMatrix(sq*s, hd*dh, s, dh)
-			vs := a.v.SubMatrix(sq*s, hd*dh, s, dh)
+			tensor.SubMatrixInto(dhead, dout, sq*s, hd*dh)
+			tensor.SubMatrixInto(qs, a.q, sq*s, hd*dh)
+			tensor.SubMatrixInto(ks, a.k, sq*s, hd*dh)
+			tensor.SubMatrixInto(vs, a.v, sq*s, hd*dh)
 
-			dvs := compute.MatMulTN(p.W, probs, dhead)
-			dprobs := compute.MatMulNT(p.W, dhead, vs)
-			dscores := tensor.Scale(scale, compute.SoftmaxRowsBackward(p.W, probs, dprobs))
-			dqs := compute.MatMul(p.W, dscores, ks)
-			dks := compute.MatMulTN(p.W, dscores, qs)
+			dvs.Zero()
+			compute.MatMulTNInto(p.W, dvs, probs, dhead)
+			compute.MatMulNTInto(p.W, dprobs, dhead, vs)
+			compute.SoftmaxRowsBackwardTo(p.W, dscores, probs, dprobs)
+			tensor.ScaleInPlace(dscores, scale)
+			dqs.Zero()
+			compute.MatMulInto(p.W, dqs, dscores, ks)
+			dks.Zero()
+			compute.MatMulTNInto(p.W, dks, dscores, qs)
 
 			dqkv.SetSubMatrix(sq*s, hd*dh, dqs)
 			dqkv.SetSubMatrix(sq*s, hq+hd*dh, dks)
 			dqkv.SetSubMatrix(sq*s, 2*hq+hd*dh, dvs)
 		}
 	}
+	ws.Put(dhead, qs, ks, vs, dvs, dprobs, dscores, dqs, dks)
 	return dqkv
 }

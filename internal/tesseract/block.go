@@ -43,9 +43,13 @@ func (m *MLP) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	return m.Fc2.Forward(p, m.Fc1.Forward(p, x))
 }
 
-// Backward propagates through both projections.
+// Backward propagates through both projections, recycling the inner
+// gradient once Fc1 has consumed it.
 func (m *MLP) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
-	return m.Fc1.Backward(p, m.Fc2.Backward(p, dy))
+	d1 := m.Fc2.Backward(p, dy)
+	dx := m.Fc1.Backward(p, d1)
+	p.W.Workspace().Put(d1)
+	return dx
 }
 
 // Block is one Tesseract-parallel Transformer layer: attention and MLP with
@@ -90,16 +94,38 @@ func (b *Block) Params() []*nn.Param {
 }
 
 // Forward computes z = LN₂(y + MLP(y)) with y = LN₁(x + Attn(x)) on local
-// blocks.
+// blocks. The residual sums are transient workspace scratch — the layer
+// norms do not retain their inputs — while the sub-layer activations ride
+// to the step boundary.
 func (b *Block) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
-	y := b.Ln1.Forward(p, compute.Add(p.W, x, b.Attn.Forward(p, x)))
-	return b.Ln2.Forward(p, compute.Add(p.W, y, b.Mlp.Forward(p, y)))
+	ws := p.W.Workspace()
+	attn := b.Attn.Forward(p, x)
+	r1 := ws.GetUninitMatch(x.Rows, x.Cols, x.Phantom() || attn.Phantom())
+	compute.AddTo(p.W, r1, x, attn)
+	y := b.Ln1.Forward(p, r1)
+	ws.Put(r1)
+	mlp := b.Mlp.Forward(p, y)
+	r2 := ws.GetUninitMatch(y.Rows, y.Cols, y.Phantom() || mlp.Phantom())
+	compute.AddTo(p.W, r2, y, mlp)
+	z := b.Ln2.Forward(p, r2)
+	ws.Put(r2)
+	return z
 }
 
-// Backward propagates through the block.
+// Backward propagates through the block, recycling every gradient
+// intermediate once its last consumer returns.
 func (b *Block) Backward(p *Proc, dz *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	dr2 := b.Ln2.Backward(p, dz)
-	dy := compute.Add(p.W, dr2, b.Mlp.Backward(p, dr2))
+	dmlp := b.Mlp.Backward(p, dr2)
+	dy := ws.GetUninitMatch(dr2.Rows, dr2.Cols, dr2.Phantom() || dmlp.Phantom())
+	compute.AddTo(p.W, dy, dr2, dmlp)
+	ws.Put(dr2, dmlp)
 	dr1 := b.Ln1.Backward(p, dy)
-	return compute.Add(p.W, dr1, b.Attn.Backward(p, dr1))
+	ws.Put(dy)
+	dattn := b.Attn.Backward(p, dr1)
+	dx := ws.GetUninitMatch(dr1.Rows, dr1.Cols, dr1.Phantom() || dattn.Phantom())
+	compute.AddTo(p.W, dx, dr1, dattn)
+	ws.Put(dr1, dattn)
+	return dx
 }

@@ -42,9 +42,11 @@ func TestPanicMidCollectiveUnblocksPeers(t *testing.T) {
 		a := tensor.RandomMatrix(2, 2, tensor.NewRNG(uint64(w.Rank())))
 		b := tensor.RandomMatrix(2, 2, tensor.NewRNG(uint64(w.Rank())+10))
 		if w.Rank() == 3 {
-			// Participate in the first broadcast round, then die: peers
-			// are left waiting inside later rendezvous.
-			p.Row.Broadcast(p.W, p.RowRank(0), pickPayload(p.J == 0, a))
+			// Participate in the first broadcast round (MulAB's schedule
+			// starts with a row broadcast-into; rank 3 sits at j=1, so it
+			// receives), then die: peers are left waiting inside later
+			// rendezvous.
+			p.Row.BroadcastInto(p.W, p.RowRank(0), nil, tensor.New(a.Rows, a.Cols))
 			panic("mid-schedule crash")
 		}
 		p.MatMulAB(a, b)
@@ -76,11 +78,4 @@ func TestClusterReusableIsNotPromisedAfterAbort(t *testing.T) {
 	if second == nil {
 		t.Fatal("aborted cluster must not silently succeed")
 	}
-}
-
-func pickPayload(cond bool, m *tensor.Matrix) *tensor.Matrix {
-	if cond {
-		return m
-	}
-	return nil
 }

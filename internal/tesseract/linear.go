@@ -80,43 +80,70 @@ func (l *Linear) Params() []*nn.Param {
 }
 
 // Forward computes the local output block for a local A-distributed input x.
+// The input and the returned activation are retained for the backward pass,
+// so both live until the step-boundary ReleaseAll; bias receive buffers are
+// transient workspace scratch.
 func (l *Linear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In/p.Shape.Q {
 		panic(fmt.Sprintf("tesseract: Linear forward block %dx%d through %d->%d on q=%d",
 			x.Rows, x.Cols, l.In, l.Out, p.Shape.Q))
 	}
+	ws := p.W.Workspace()
 	l.x = x
 	y := p.MatMulAB(x, l.W.Value)
 	if l.hasBias {
-		var payload *tensor.Matrix
 		if p.I == 0 {
-			payload = l.B.Value
+			bias := p.Col.BroadcastInto(p.W, p.ColRank(0), l.B.Value, l.B.Value)
+			compute.AddRowVectorInPlace(p.W, y, bias)
+		} else {
+			bias := ws.GetUninitMatch(1, y.Cols, l.W.Value.Phantom())
+			p.Col.BroadcastInto(p.W, p.ColRank(0), nil, bias)
+			compute.AddRowVectorInPlace(p.W, y, bias)
+			ws.Put(bias)
 		}
-		bias := p.Col.Broadcast(p.W, p.ColRank(0), payload)
-		y = compute.AddRowVector(p.W, y, bias)
 	}
 	l.pre = y
 	if l.Act == nn.ActGELU {
-		return compute.GELU(p.W, y)
+		act := ws.GetUninitMatch(y.Rows, y.Cols, y.Phantom())
+		compute.GELUTo(p.W, act, y)
+		return act
 	}
 	return y
 }
 
 // Backward accumulates dW (and dB) and returns the local input-gradient
-// block.
+// block, a workspace buffer owned by the caller. The incoming dy is only
+// read — gradient buffers, unlike activations, are never retained, so the
+// caller may recycle dy as soon as Backward returns.
 func (l *Linear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
+	var dyScratch *tensor.Matrix
 	if l.Act == nn.ActGELU {
-		dy = compute.Mul(p.W, dy, compute.GELUGrad(p.W, l.pre))
+		g := ws.GetUninitMatch(dy.Rows, dy.Cols, dy.Phantom() || l.pre.Phantom())
+		compute.GELUGradTo(p.W, g, l.pre)
+		compute.MulTo(p.W, g, dy, g)
+		dy, dyScratch = g, g
 	}
 	gw := p.MatMulATB(l.x, dy)
 	l.W.AccumGrad(gw)
+	ws.Put(gw)
 	if l.hasBias {
-		db := compute.ColSums(p.W, dy)
-		r := p.Col.Reduce(p.W, p.ColRank(0), db)
+		db := ws.GetUninitMatch(1, dy.Cols, dy.Phantom())
+		compute.ColSumsInto(p.W, db, dy)
 		if p.I == 0 {
-			r = p.Depth.AllReduce(p.W, r)
+			r := ws.GetUninitMatch(1, dy.Cols, dy.Phantom())
+			p.Col.ReduceInto(p.W, p.ColRank(0), db, r)
+			p.Depth.AllReduceInto(p.W, r, r)
 			l.B.AccumGrad(r)
+			ws.Put(r)
+		} else {
+			p.Col.ReduceInto(p.W, p.ColRank(0), db, nil)
 		}
+		ws.Put(db)
 	}
-	return p.MatMulABT(dy, l.W.Value)
+	dx := p.MatMulABT(dy, l.W.Value)
+	if dyScratch != nil {
+		ws.Put(dyScratch)
+	}
+	return dx
 }

@@ -57,10 +57,12 @@ func (p *Proc) MatMulABT(a, b *tensor.Matrix) *tensor.Matrix {
 // MatMulATB computes C = Aᵀ·B (the parameter-gradient product B' = Aᵀ·C' of
 // Eq. 3) and all-reduces the result across the depth fibre, per §3.1: each
 // layer contributes the partial sum over its own block rows, and the d
-// replicas must agree.
+// replicas must agree. The depth all-reduce runs in place on the layer
+// partial, so the returned matrix is the same caller-owned workspace buffer
+// summa handed back.
 func (p *Proc) MatMulATB(a, b *tensor.Matrix) *tensor.Matrix {
 	partial := summa.MulATB(p.Proc, a, b)
-	return p.Depth.AllReduce(p.W, partial)
+	return p.Depth.AllReduceInto(p.W, partial, partial)
 }
 
 // DistributeA slices a replicated global activation matrix into this

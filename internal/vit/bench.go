@@ -1,0 +1,109 @@
+package vit
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tesseract"
+)
+
+// StepBencher drives repeated training steps of the distributed ViT on one
+// persistent [q, q, d] cluster, so benchmarks and leak tests can separate
+// model construction and warm-up from the steady-state step they measure.
+// The same fixed batch is used for every step.
+type StepBencher struct {
+	c      *dist.Cluster
+	procs  []*tesseract.Proc
+	models []*DistModel
+	opts   []*nn.Adam
+
+	x      *tensor.Matrix
+	labels []int
+	s      int
+}
+
+// NewStepBencher builds the cluster, the per-rank models and optimisers, and
+// runs warmup steps so pools, caches and optimiser state reach steady state.
+func NewStepBencher(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig, warmup int) (*StepBencher, error) {
+	tc = tc.withDefaults()
+	if tc.BatchSize%(q*d) != 0 {
+		return nil, fmt.Errorf("vit: batch %d not divisible by d*q = %d", tc.BatchSize, q*d)
+	}
+	world := q * q * d
+	sb := &StepBencher{
+		c:      dist.New(dist.Config{WorldSize: world}),
+		procs:  make([]*tesseract.Proc, world),
+		models: make([]*DistModel, world),
+		opts:   make([]*nn.Adam, world),
+		s:      mcfg.SeqLen,
+	}
+	idx := make([]int, tc.BatchSize)
+	for i := range idx {
+		idx[i] = i % len(ds.Train)
+	}
+	sb.x, sb.labels = ds.Batch(ds.Train, idx)
+	err := sb.c.Run(func(w *dist.Worker) error {
+		p := tesseract.NewProc(w, q, d)
+		sb.procs[w.Rank()] = p
+		sb.models[w.Rank()] = NewDistModel(p, mcfg)
+		sb.opts[w.Rank()] = nn.NewAdam(tc.LR, tc.WeightDecay)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warmup > 0 {
+		if err := sb.Steps(warmup); err != nil {
+			return nil, err
+		}
+	}
+	return sb, nil
+}
+
+// Steps runs n full training steps (forward, loss, backward, optimiser
+// update, workspace release) on every rank within a single cluster run.
+func (sb *StepBencher) Steps(n int) error {
+	return sb.c.Run(func(w *dist.Worker) error {
+		p := sb.procs[w.Rank()]
+		model := sb.models[w.Rank()]
+		opt := sb.opts[w.Rank()]
+		params := model.Params()
+		ws := w.Workspace()
+		for i := 0; i < n; i++ {
+			logits := model.Forward(p, DistributeBatch(p, sb.x, sb.s))
+			_, dl := nn.CrossEntropy(logits, sb.labels)
+			for _, pa := range params {
+				pa.ZeroGrad()
+			}
+			model.Backward(p, dl)
+			opt.Step(params)
+			ws.ReleaseAll()
+		}
+		return nil
+	})
+}
+
+// SetPooling toggles workspace recycling on every rank — the switch the
+// bitwise property tests use to compare the pooled path against the plain
+// allocating path on identical models.
+func (sb *StepBencher) SetPooling(enabled bool) error {
+	return sb.c.Run(func(w *dist.Worker) error {
+		w.Workspace().SetPooling(enabled)
+		return nil
+	})
+}
+
+// WorkspaceStats snapshots every rank's pool counters, indexed by rank.
+func (sb *StepBencher) WorkspaceStats() ([]tensor.WorkspaceStats, error) {
+	out := make([]tensor.WorkspaceStats, len(sb.models))
+	err := sb.c.Run(func(w *dist.Worker) error {
+		out[w.Rank()] = w.Workspace().Stats()
+		return nil
+	})
+	return out, err
+}
+
+// Model returns rank r's model, letting tests inspect parameter values.
+func (sb *StepBencher) Model(r int) *DistModel { return sb.models[r] }

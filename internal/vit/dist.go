@@ -55,8 +55,10 @@ func (m *DistModel) Params() []*nn.Param {
 }
 
 // Forward maps the local token block [b·s/(dq), patchDim/q] to replicated
-// logits [b, classes].
+// logits [b, classes]. Intermediates come from the worker's workspace; the
+// trainer releases them at each step boundary.
 func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	s := m.Config.SeqLen
 	h := m.Embed.Forward(p, x)
 	h = m.addPositionalLocal(p, h)
@@ -64,14 +66,19 @@ func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix 
 		h = b.Forward(p, h)
 	}
 	p.W.Compute(float64(h.Size()))
-	pooledLocal := meanPool(h, s)
+	pooledLocal := ws.GetUninit(h.Rows/s, h.Cols)
+	meanPoolInto(pooledLocal, h, s)
 	// Gather the pooled features: columns along the grid row, sequence
 	// blocks along the slab — afterwards every processor holds the full
 	// [b, hidden] matrix, identically.
 	rowParts := p.Row.AllGather(p.W, pooledLocal)
-	wide := tensor.HCat(rowParts...)
+	wide := ws.GetUninit(rowParts[0].Rows, len(rowParts)*rowParts[0].Cols)
+	hcatInto(wide, rowParts)
+	ws.Put(pooledLocal) // single-member gathers share the buffer itself, so release only after the copy
 	slabParts := p.Slab.AllGather(p.W, wide)
-	m.pooled = tensor.VCat(slabParts...)
+	m.pooled = ws.GetUninit(len(slabParts)*slabParts[0].Rows, slabParts[0].Cols)
+	vcatInto(m.pooled, slabParts)
+	ws.Put(wide)
 	m.batch = m.pooled.Rows
 	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
 	return m.Head.Forward(m.pooled)
@@ -79,6 +86,7 @@ func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix 
 
 // Backward takes the replicated dLogits and propagates to all shards.
 func (m *DistModel) Backward(p *tesseract.Proc, dlogits *tensor.Matrix) {
+	ws := p.W.Workspace()
 	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
 	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Hidden), float64(m.Config.Classes))
 	dpooled := m.Head.Backward(dlogits) // replicated [b, hidden]
@@ -88,32 +96,57 @@ func (m *DistModel) Backward(p *tesseract.Proc, dlogits *tensor.Matrix) {
 	q, d := p.Shape.Q, p.Shape.D
 	nseqLocal := m.batch / (q * d)
 	hq := m.Config.Hidden / q
-	local := dpooled.SubMatrix(p.BlockRow()*nseqLocal, p.J*hq, nseqLocal, hq)
-	dh := meanPoolBackward(local, s)
+	local := ws.GetUninit(nseqLocal, hq)
+	tensor.SubMatrixInto(local, dpooled, p.BlockRow()*nseqLocal, p.J*hq)
+	dh := ws.GetUninit(nseqLocal*s, hq)
+	meanPoolBackwardInto(dh, local, s)
+	ws.Put(local)
 	p.W.Compute(float64(dh.Size()))
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
-		dh = m.Blocks[i].Backward(p, dh)
+		prev := dh
+		dh = m.Blocks[i].Backward(p, prev)
+		ws.Put(prev)
 	}
-	m.Embed.Backward(p, dh)
+	dx := m.Embed.Backward(p, dh)
+	ws.Put(dh, dx)
 }
 
 // addPositionalLocal adds the local slice of the fixed positional encoding:
 // local row r is sequence position r mod s; local columns are the J-th
-// hidden block.
+// hidden block. The result is a workspace buffer (the embedding output is
+// retained by the embedding layer and must not be mutated).
 func (m *DistModel) addPositionalLocal(p *tesseract.Proc, h *tensor.Matrix) *tensor.Matrix {
 	s := m.Config.SeqLen
 	hq := m.Config.Hidden / p.Shape.Q
-	posLocal := m.Pos.SubMatrix(0, p.J*hq, s, hq)
 	p.W.Compute(float64(h.Size()) * compute.FlopsPerAdd)
-	out := h.Clone()
+	out := p.W.Workspace().GetUninit(h.Rows, h.Cols)
 	for r := 0; r < h.Rows; r++ {
-		prow := posLocal.Row(r % s)
+		prow := m.Pos.Row(r % s)[p.J*hq : (p.J+1)*hq]
+		hrow := h.Row(r)
 		orow := out.Row(r)
 		for j := range orow {
-			orow[j] += prow[j]
+			orow[j] = hrow[j] + prow[j]
 		}
 	}
 	return out
+}
+
+// hcatInto packs equal-shaped parts left to right into dst.
+func hcatInto(dst *tensor.Matrix, parts []*tensor.Matrix) {
+	off := 0
+	for _, p := range parts {
+		dst.SetSubMatrix(0, off, p)
+		off += p.Cols
+	}
+}
+
+// vcatInto packs equal-shaped parts top to bottom into dst.
+func vcatInto(dst *tensor.Matrix, parts []*tensor.Matrix) {
+	off := 0
+	for _, p := range parts {
+		dst.SetSubMatrix(off, 0, p)
+		off += p.Rows
+	}
 }
 
 // DistributeBatch slices a global token matrix [b·s, patchDim] into this

@@ -57,6 +57,7 @@ func TrainSerial(ds *Dataset, mcfg ModelConfig, tc TrainConfig) History {
 	tc = tc.withDefaults()
 	model := NewModel(mcfg)
 	opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+	params := model.Params()
 	hist := History{Setting: "serial"}
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
 		order := epochOrder(len(ds.Train), epoch, tc.Seed)
@@ -67,13 +68,13 @@ func TrainSerial(ds *Dataset, mcfg ModelConfig, tc TrainConfig) History {
 			logits := model.Forward(x)
 			loss, dlogits := nn.CrossEntropy(logits, labels)
 			lossSum += loss
-			correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+			correct += nn.CorrectCount(logits, labels)
 			seen += len(labels)
-			for _, p := range model.Params() {
+			for _, p := range params {
 				p.ZeroGrad()
 			}
 			model.Backward(dlogits)
-			opt.Step(model.Params())
+			opt.Step(params)
 		}
 		steps := len(order) / tc.BatchSize
 		hist.Loss = append(hist.Loss, lossSum/float64(steps))
@@ -84,21 +85,25 @@ func TrainSerial(ds *Dataset, mcfg ModelConfig, tc TrainConfig) History {
 }
 
 func evalSerial(model *Model, ds *Dataset, batch int) float64 {
-	var correct, seen int
-	for start := 0; start+batch <= len(ds.Test); start += batch {
-		idx := make([]int, batch)
+	n := len(ds.Test)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n // final partial batch: evaluate the tail instead of dropping it
+		}
+		idx := make([]int, end-start)
 		for i := range idx {
 			idx[i] = start + i
 		}
 		x, labels := ds.Batch(ds.Test, idx)
 		logits := model.Forward(x)
-		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
-		seen += len(labels)
+		correct += nn.CorrectCount(logits, labels)
 	}
-	if seen == 0 {
-		return 0
-	}
-	return float64(correct) / float64(seen)
+	return float64(correct) / float64(n)
 }
 
 // TrainTesseract trains the same model under a [q, q, d] Tesseract mesh and
@@ -117,6 +122,8 @@ func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (Hi
 		p := tesseract.NewProc(w, q, d)
 		model := NewDistModel(p, mcfg)
 		opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+		params := model.Params()
+		ws := w.Workspace()
 		for epoch := 0; epoch < tc.Epochs; epoch++ {
 			order := epochOrder(len(ds.Train), epoch, tc.Seed)
 			var lossSum float64
@@ -126,13 +133,14 @@ func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (Hi
 				logits := model.Forward(p, DistributeBatch(p, x, s))
 				loss, dlogits := nn.CrossEntropy(logits, labels)
 				lossSum += loss
-				correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+				correct += nn.CorrectCount(logits, labels)
 				seen += len(labels)
-				for _, pa := range model.Params() {
+				for _, pa := range params {
 					pa.ZeroGrad()
 				}
 				model.Backward(p, dlogits)
-				opt.Step(model.Params())
+				opt.Step(params)
+				ws.ReleaseAll() // step boundary: recycle every activation and scratch buffer
 			}
 			if w.Rank() == 0 {
 				steps := len(order) / tc.BatchSize
@@ -152,20 +160,38 @@ func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (Hi
 	return hist, nil
 }
 
+// evalDist computes test accuracy on every rank (the forward pass is
+// collective). The final partial batch is padded up to the mesh divisibility
+// unit d·q by repeating the first tail sample — per-sample logits are
+// independent, so padding rows cannot perturb real rows — and only the real
+// labels are counted.
 func evalDist(p *tesseract.Proc, model *DistModel, ds *Dataset, batch, s int) float64 {
-	var correct, seen int
-	for start := 0; start+batch <= len(ds.Test); start += batch {
-		idx := make([]int, batch)
+	n := len(ds.Test)
+	if n == 0 {
+		return 0
+	}
+	unit := p.Shape.Q * p.Shape.D
+	ws := p.W.Workspace()
+	correct := 0
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		real := end - start
+		padded := (real + unit - 1) / unit * unit
+		idx := make([]int, padded)
 		for i := range idx {
-			idx[i] = start + i
+			if start+i < end {
+				idx[i] = start + i
+			} else {
+				idx[i] = start // padding; its predictions are discarded below
+			}
 		}
 		x, labels := ds.Batch(ds.Test, idx)
 		logits := model.Forward(p, DistributeBatch(p, x, s))
-		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
-		seen += len(labels)
+		correct += nn.CorrectCount(logits, labels[:real])
+		ws.ReleaseAll() // eval step boundary: the logits row counts are consumed
 	}
-	if seen == 0 {
-		return 0
-	}
-	return float64(correct) / float64(seen)
+	return float64(correct) / float64(n)
 }
