@@ -106,6 +106,39 @@ func BenchmarkTesseractStep(b *testing.B) {
 	if err := sb.Steps(b.N); err != nil {
 		b.Fatal(err)
 	}
+	b.StopTimer()
+	if hidden, total := sb.Overlap(); total > 0 {
+		b.ReportMetric(hidden/total, "overlap-frac")
+	}
+}
+
+// BenchmarkSummaPipelined exercises the double-buffered SUMMA kernels with
+// their nonblocking prefetch broadcasts and in-flight partial reduces on a
+// real-data [2,2,2] mesh — the benchmark the CI race job runs to hammer the
+// handle/round machinery under the race detector.
+func BenchmarkSummaPipelined(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	ga := tensor.RandomMatrix(64, 48, rng)
+	gb := tensor.RandomMatrix(48, 32, rng)
+	gdy := tensor.RandomMatrix(64, 32, rng)
+	c := dist.New(dist.Config{WorldSize: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(w *dist.Worker) error {
+			p := tesseract.NewProc(w, 2, 2)
+			ws := w.Workspace()
+			la, lb, ldy := p.DistributeA(ga), p.DistributeB(gb), p.DistributeA(gdy)
+			ws.Put(p.MatMulAB(la, lb))   // forward: prefetch-broadcast pipeline
+			ws.Put(p.MatMulABT(ldy, lb)) // dX: broadcast + in-flight row reduce
+			ws.Put(p.MatMulATB(la, ldy)) // dW: broadcast + in-flight col reduce + depth all-reduce
+			ws.ReleaseAll()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkClaimTransmissions regenerates the §1 transmission-count claim.

@@ -25,6 +25,7 @@ func main() {
 		claimsOnly = flag.Bool("claims", false, "run the transmission-count study")
 		memory     = flag.Bool("memory", false, "run the Eq. 7-10 memory study")
 		ablation   = flag.Bool("ablation", false, "run the depth ablation")
+		overlap    = flag.Bool("overlap", false, "run the communication-overlap study (predicted vs measured)")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -33,7 +34,7 @@ func main() {
 	flag.Parse()
 
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -74,6 +75,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(tables.FormatAblation(points))
+	}
+	if all || *overlap {
+		points, err := tables.OverlapStudy(tables.Table1Rows(), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatOverlap(points))
 	}
 }
 

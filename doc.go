@@ -33,12 +33,31 @@
 // slab group.
 //
 // Collectives (AllReduce, AllGather, Broadcast, Reduce, Barrier) move
-// pointers, not bytes. Reductions run over binomial trees whose partial
-// sums execute on the member goroutines (deterministic association, so
+// pointers, not bytes. Reductions sum in the fixed association of a
+// binomial tree over the group's virtual positions (deterministic, so
 // parameter replicas stay bit-identical); broadcasts and gathers share
 // immutable snapshots. A failed or panicking worker aborts the whole
 // cluster: peers blocked mid-collective unwind and Run returns an error
 // naming the rank.
+//
+// # Nonblocking collectives and overlap
+//
+// The destination-passing collectives also come in nonblocking form
+// (IBroadcastInto, IReduceInto, IAllReduceInto): issue, compute, Wait.
+// Operations pair up across ranks in per-worker issue order, a matrix lent
+// to an in-flight collective is borrowed until Wait (the workspace panics
+// on Put or ReleaseAll while a borrow is outstanding), and results stay
+// bit-identical to the blocking forms. Simulated time charges
+// max(compute, comm) across the issue→Wait window instead of their sum,
+// with each communicator serialising its own operations like one pipeline
+// channel. On top of this the summa kernels run double-buffered (panel
+// t+1's broadcast and partial t−1's reduce in flight behind iteration t's
+// GEMM), tesseract.Linear queues its §3.1 depth all-reduces per layer and
+// drains them at optimiser time (tesseract.Proc.DrainGradients), and
+// hybrid overlaps its pipeline handoff with the data-parallel gradient
+// all-reduces. Cluster.Overlap measures the comm time hidden behind
+// compute; dist.CostModel.PipelinedSummaTime and dist.HiddenFraction are
+// the analytic counterparts the tables' overlap study compares against.
 //
 // # The workspace: zero-allocation training steps
 //

@@ -84,6 +84,7 @@ func main() {
 			blk := tesseract.NewBlock(p, hidden, heads, seqLen, tensor.NewRNG(seed))
 			y := blk.Forward(p, p.DistributeA(x))
 			dx := blk.Backward(p, p.DistributeA(dy))
+			p.DrainGradients()
 			fy := p.CollectA(y)
 			fdx := p.CollectA(dx)
 			if w.Rank() == 0 {

@@ -68,6 +68,7 @@ func main() {
 				pa.ZeroGrad()
 			}
 			block.Backward(p, p.DistributeA(dyFull))
+			p.DrainGradients() // complete the queued depth all-reduces before stepping
 			opt.Step(block.Params())
 			w.Workspace().ReleaseAll() // step boundary: recycle panels, partials, activations
 		}

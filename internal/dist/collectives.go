@@ -6,6 +6,91 @@ import (
 	"repro/internal/tensor"
 )
 
+// Handle is one in-flight nonblocking collective, returned by the
+// I-variants (IBroadcastInto, IReduceInto, IAllReduceInto). The issuing
+// call never blocks; Wait blocks until the operation completes, advances
+// the caller's simulated clock to max(own compute, collective finish) —
+// communication overlapped with compute costs max, not sum — and returns
+// ownership of the borrowed buffers.
+//
+// Contract: every matrix handed to an I-collective (payload and
+// destination) is borrowed until Wait returns — it must not be read,
+// written, Put, or released in between; the workspace enforces the Put and
+// ReleaseAll half of that rule by panicking. Wait must be called exactly
+// once, from the issuing worker's goroutine; a second Wait panics, even
+// through a copy of the Handle (the operation tracks which members have
+// waited, and a generation stamp catches copies that outlive the
+// operation). Handles are plain values: keep them on the stack, no
+// allocation involved.
+//
+// Ordering: a worker's operations on one group — blocking or nonblocking —
+// pair up with its peers' in per-worker issue order, so all members must
+// issue the same sequence of collectives on a group, exactly as with the
+// blocking API. Operations on one group serialise in simulated time (one
+// pipeline channel per communicator); operations on different groups
+// overlap freely.
+type Handle struct {
+	g        *Group
+	w        *Worker
+	r        *round
+	gen      uint32
+	idx      int
+	finisher bool
+	payload  *tensor.Matrix
+	dst      *tensor.Matrix
+	waited   bool
+	valid    bool
+}
+
+// Wait blocks until the collective completes, releases the borrowed
+// buffers, and advances the caller's clock. It panics if called twice or on
+// a zero Handle, and unwinds with the cluster abort if the cluster dies.
+func (h *Handle) Wait() {
+	if !h.valid {
+		panic("dist: Wait on a zero or already-consumed Handle")
+	}
+	if h.waited || h.r.gen.Load() != h.gen || h.r.waited[h.idx] {
+		panic("dist: Handle.Wait called twice (possibly through a copy of the Handle)")
+	}
+	h.waited = true
+	h.r.waited[h.idx] = true
+	h.g.waitRound(h.w, h.r, h.finisher)
+	ws := h.w.Workspace()
+	ws.Release(h.payload)
+	ws.Release(h.dst)
+	h.g.retire(h.r)
+}
+
+// issueAsync files a nonblocking arrival and borrows the buffers it lends
+// to the collective until Wait.
+func (g *Group) issueAsync(w *Worker, kind opKind, root, idx int, payload, dst *tensor.Matrix) Handle {
+	ws := w.Workspace()
+	ws.Borrow(payload)
+	ws.Borrow(dst)
+	r, finisher := g.join(w, kind, root, idx, payload, dst)
+	// r cannot be recycled before this member retires (which happens only
+	// in Wait), so the generation read here is stable.
+	return Handle{g: g, w: w, r: r, gen: r.gen.Load(), idx: idx, finisher: finisher, payload: payload, dst: dst, valid: true}
+}
+
+// runBlocking is the shared blocking path: join, park until the round
+// completes, return it for result extraction. The caller must retire the
+// round after reading what it needs.
+func (g *Group) runBlocking(w *Worker, kind opKind, root, idx int, slot, dst *tensor.Matrix) *round {
+	r, finisher := g.join(w, kind, root, idx, slot, dst)
+	g.waitRound(w, r, finisher)
+	return r
+}
+
+// mustRootIdx validates that root is a member and returns its slot.
+func (g *Group) mustRootIdx(root int, kind opKind) int {
+	ridx := g.Index(root)
+	if ridx < 0 {
+		panic(fmt.Sprintf("dist: %s root %d outside group %v", kind, root, g.ranks))
+	}
+	return ridx
+}
+
 // Broadcast distributes the root's payload to every member and returns it.
 // root is a cluster rank that must belong to the group; non-root callers
 // pass payload == nil. The root snapshots the payload once; every member
@@ -15,86 +100,65 @@ import (
 // a hot path that would immediately copy or discard the snapshot should use
 // BroadcastInto instead.
 func (g *Group) Broadcast(w *Worker, root int, payload *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "broadcast")
-	ridx := g.Index(root)
-	if ridx < 0 {
-		panic(fmt.Sprintf("dist: broadcast root %d outside group %v", root, g.ranks))
-	}
+	idx := g.mustIndex(w, opBroadcast)
+	ridx := g.mustRootIdx(root, opBroadcast)
 	if payload != nil && len(g.ranks) > 1 {
 		payload = payload.Clone()
 	}
-	r := g.rendezvous(w, "broadcast", root, idx, payload, nil, func(r *round) {
-		m := r.slots[ridx]
-		if m == nil {
-			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", root))
-		}
-		n := len(g.ranks)
-		bytes := matrixBytes(m)
-		r.result = m
-		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
-		g.c.stats.record("broadcast", int64(n-1), int64(n-1)*bytes)
-	})
+	r := g.runBlocking(w, opBroadcast, ridx, idx, payload, nil)
 	out := r.result
 	g.retire(r)
 	return out
 }
 
 // BroadcastInto distributes the root's payload into caller-supplied
-// destinations without the snapshot clone: the last member to arrive copies
-// the payload into every member's dst while all members are still parked at
-// the rendezvous, so the root's buffer is never aliased once the call
+// destinations without the snapshot clone: the member completing the
+// operation copies the payload into every member's dst while the operation
+// is still in flight, so the root's buffer is never aliased once the call
 // returns and the root may mutate it immediately. Every member must pass a
 // dst of the payload's shape; the root may pass its payload as dst to skip
 // the self-copy. Time and statistics are charged exactly like Broadcast.
 // Returns dst.
 func (g *Group) BroadcastInto(w *Worker, root int, payload, dst *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "broadcast-into")
-	ridx := g.Index(root)
-	if ridx < 0 {
-		panic(fmt.Sprintf("dist: broadcast root %d outside group %v", root, g.ranks))
-	}
+	idx := g.mustIndex(w, opBroadcastInto)
+	ridx := g.mustRootIdx(root, opBroadcastInto)
 	if dst == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil dst to broadcast-into", w.rank))
 	}
-	r := g.rendezvous(w, "broadcast-into", root, idx, payload, dst, func(r *round) {
-		m := r.slots[ridx]
-		if m == nil {
-			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", root))
-		}
-		for _, d := range r.dsts {
-			tensor.CopyInto(d, m)
-		}
-		n := len(g.ranks)
-		bytes := matrixBytes(m)
-		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
-		g.c.stats.record("broadcast", int64(n-1), int64(n-1)*bytes)
-	})
-	g.retire(r)
+	g.retire(g.runBlocking(w, opBroadcastInto, ridx, idx, payload, dst))
 	return dst
 }
 
-// Reduce sums every member's matrix onto the root: the root receives an
-// owned buffer it may mutate, every other member receives nil. The
-// summation runs over a binomial tree, so the partial additions execute on
-// the member goroutines in a fixed, schedule-independent association.
-func (g *Group) Reduce(w *Worker, root int, m *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "reduce")
-	ridx := g.Index(root)
-	if ridx < 0 {
-		panic(fmt.Sprintf("dist: reduce root %d outside group %v", root, g.ranks))
+// IBroadcastInto is the nonblocking BroadcastInto: it files the arrival and
+// returns immediately; the copy into dst happens while the handle is in
+// flight and is visible once Wait returns. Payload and dst are borrowed
+// until Wait (see Handle).
+func (g *Group) IBroadcastInto(w *Worker, root int, payload, dst *tensor.Matrix) Handle {
+	idx := g.mustIndex(w, opBroadcastInto)
+	ridx := g.mustRootIdx(root, opBroadcastInto)
+	if dst == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil dst to broadcast-into", w.rank))
 	}
+	return g.issueAsync(w, opBroadcastInto, ridx, idx, payload, dst)
+}
+
+// Reduce sums every member's matrix onto the root: the root receives an
+// owned buffer it may mutate, every other member receives nil. The partial
+// sums combine in the fixed association of a binomial tree over the group's
+// virtual positions, so the result is schedule-independent down to the bit.
+func (g *Group) Reduce(w *Worker, root int, m *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, opReduce)
+	ridx := g.mustRootIdx(root, opReduce)
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to reduce", w.rank))
 	}
-	sum, scratch := g.treeReduce(w, idx, ridx, m)
-	g.retire(g.rendezvous(w, "reduce", root, idx, m, nil, func(r *round) {
-		n := len(g.ranks)
-		bytes := matrixBytes(r.slots[ridx])
-		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
-		g.c.stats.record("reduce", int64(n-1), int64(n-1)*bytes)
-	}))
-	g.recycleScratch(w, scratch)
-	return sum
+	r := g.runBlocking(w, opReduce, ridx, idx, m, nil)
+	var out *tensor.Matrix
+	if idx == ridx {
+		out = r.result
+	}
+	g.retire(r)
+	return out
 }
 
 // ReduceInto is Reduce with a root-supplied accumulator: the sum lands in
@@ -102,87 +166,78 @@ func (g *Group) Reduce(w *Worker, root int, m *tensor.Matrix) *tensor.Matrix {
 // buffer, in the same binomial-tree association — bit-identical to Reduce.
 // Non-root members pass dst == nil and receive nil. Every member's m is
 // fully consumed before the collective returns, so callers may overwrite
-// their partials immediately — the contract that lets SUMMA reuse one
-// partial buffer across all its iterations.
+// their partials immediately — the contract that lets SUMMA reuse its
+// partial buffers across iterations.
 func (g *Group) ReduceInto(w *Worker, root int, m, dst *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "reduce-into")
-	ridx := g.Index(root)
-	if ridx < 0 {
-		panic(fmt.Sprintf("dist: reduce root %d outside group %v", root, g.ranks))
-	}
+	idx := g.mustIndex(w, opReduceInto)
+	ridx := g.mustRootIdx(root, opReduceInto)
+	checkReduceInto(w, idx, ridx, m, dst)
+	g.retire(g.runBlocking(w, opReduceInto, ridx, idx, m, dst))
+	return dst
+}
+
+// IReduceInto is the nonblocking ReduceInto. The member's m is borrowed
+// until Wait — only then may the caller overwrite its partial — and the
+// root's dst holds the finished sum once the root's Wait returns.
+func (g *Group) IReduceInto(w *Worker, root int, m, dst *tensor.Matrix) Handle {
+	idx := g.mustIndex(w, opReduceInto)
+	ridx := g.mustRootIdx(root, opReduceInto)
+	checkReduceInto(w, idx, ridx, m, dst)
+	return g.issueAsync(w, opReduceInto, ridx, idx, m, dst)
+}
+
+func checkReduceInto(w *Worker, idx, ridx int, m, dst *tensor.Matrix) {
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to reduce-into", w.rank))
 	}
 	if (idx == ridx) != (dst != nil) {
 		panic(fmt.Sprintf("dist: reduce-into rank %d root=%v dst=%v — exactly the root must supply dst", w.rank, idx == ridx, dst != nil))
 	}
-	sum, scratch := g.treeReduceInto(w, idx, ridx, m, dst)
-	g.retire(g.rendezvous(w, "reduce-into", root, idx, m, nil, func(r *round) {
-		n := len(g.ranks)
-		bytes := matrixBytes(r.slots[ridx])
-		r.newClock = maxClock(r.clocks) + g.c.cost.broadcastTime(n, bytes, g.beta)
-		g.c.stats.record("reduce", int64(n-1), int64(n-1)*bytes)
-	}))
-	g.recycleScratch(w, scratch)
-	return sum
 }
 
 // AllReduce sums every member's matrix and hands each member its own owned
 // copy of the result (callers may mutate it; the replicas are bit-identical
 // because one sum is computed once, then cloned). Time is charged as a
-// bandwidth-optimal ring; the data path is a reduce tree followed by a
-// broadcast tree over the same edges.
+// bandwidth-optimal ring.
 func (g *Group) AllReduce(w *Worker, m *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "allreduce")
+	idx := g.mustIndex(w, opAllReduce)
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to allreduce", w.rank))
 	}
-	out, scratch := g.treeReduce(w, idx, 0, m)
-	if shared := g.treeBcast(w, idx, 0, out); out == nil {
-		out = shared.Clone()
-	}
-	g.retire(g.rendezvous(w, "allreduce", -1, idx, m, nil, func(r *round) {
-		n := len(g.ranks)
-		bytes := matrixBytes(r.slots[idx])
-		r.newClock = maxClock(r.clocks) + g.c.cost.allReduceTime(n, bytes, g.beta)
-		g.c.stats.record("allreduce", 2*int64(n-1), 2*int64(n-1)*bytes)
-	}))
-	g.recycleScratch(w, scratch)
+	r := g.runBlocking(w, opAllReduce, -1, idx, m, nil)
+	out := r.results[idx]
+	g.retire(r)
 	return out
 }
 
 // AllReduceInto sums every member's matrix into each member's own dst —
 // bit-identical to AllReduce but with no retained allocation. dst may alias
-// m, giving an in-place all-reduce. The tree's root accumulates directly
-// into its dst and shares it down the broadcast tree; every other member
-// copies the shared sum into its dst before reaching the closing
-// rendezvous, so the root's buffer is exclusively owned again the moment
-// the call returns. Returns dst.
+// m, giving an in-place all-reduce. Every member's buffers are exclusively
+// owned again the moment the call returns. Returns dst.
 func (g *Group) AllReduceInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
-	idx := g.mustIndex(w, "allreduce-into")
+	idx := g.mustIndex(w, opAllReduceInto)
+	checkAllReduceInto(w, m, dst)
+	g.retire(g.runBlocking(w, opAllReduceInto, -1, idx, m, dst))
+	return dst
+}
+
+// IAllReduceInto is the nonblocking AllReduceInto — the building block of
+// the DDP-style gradient sync: issue the reduction the moment a gradient is
+// ready, keep computing, Wait at optimiser time. m and dst (which may alias
+// m) are borrowed until Wait.
+func (g *Group) IAllReduceInto(w *Worker, m, dst *tensor.Matrix) Handle {
+	idx := g.mustIndex(w, opAllReduceInto)
+	checkAllReduceInto(w, m, dst)
+	return g.issueAsync(w, opAllReduceInto, -1, idx, m, dst)
+}
+
+func checkAllReduceInto(w *Worker, m, dst *tensor.Matrix) {
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to allreduce-into", w.rank))
 	}
 	if dst == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil dst to allreduce-into", w.rank))
 	}
-	var rootDst *tensor.Matrix
-	if idx == 0 {
-		rootDst = dst
-	}
-	sum, scratch := g.treeReduceInto(w, idx, 0, m, rootDst)
-	shared := g.treeBcast(w, idx, 0, sum)
-	if idx != 0 {
-		tensor.CopyInto(dst, shared)
-	}
-	g.retire(g.rendezvous(w, "allreduce-into", -1, idx, m, nil, func(r *round) {
-		n := len(g.ranks)
-		bytes := matrixBytes(r.slots[idx])
-		r.newClock = maxClock(r.clocks) + g.c.cost.allReduceTime(n, bytes, g.beta)
-		g.c.stats.record("allreduce", 2*int64(n-1), 2*int64(n-1)*bytes)
-	}))
-	g.recycleScratch(w, scratch)
-	return dst
 }
 
 // AllGather returns every member's matrix in the group's canonical order.
@@ -190,48 +245,49 @@ func (g *Group) AllReduceInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
 // share the n immutable snapshots (read-only by convention) instead of
 // paying n−1 copies each. The returned slice itself is private.
 func (g *Group) AllGather(w *Worker, m *tensor.Matrix) []*tensor.Matrix {
-	idx := g.mustIndex(w, "allgather")
+	idx := g.mustIndex(w, opAllGather)
 	if m == nil {
 		panic(fmt.Sprintf("dist: rank %d passed nil to allgather", w.rank))
 	}
 	if len(g.ranks) > 1 {
 		m = m.Clone()
 	}
-	r := g.rendezvous(w, "allgather", -1, idx, m, nil, func(r *round) {
-		n := len(g.ranks)
-		var sum, max int64
-		for _, s := range r.slots {
-			b := matrixBytes(s)
-			sum += b
-			if b > max {
-				max = b
-			}
-		}
-		r.newClock = maxClock(r.clocks) + g.c.cost.allGatherTime(n, max, g.beta)
-		g.c.stats.record("allgather", int64(n)*int64(n-1), int64(n-1)*sum)
-	})
+	r := g.runBlocking(w, opAllGather, -1, idx, m, nil)
 	out := make([]*tensor.Matrix, len(r.slots))
 	copy(out, r.slots)
 	g.retire(r)
 	return out
 }
 
-// recycleScratch returns an interior-node reduce accumulator to its
-// worker's pool. It runs after the collective's closing rendezvous, by
-// which point the parent that received the buffer has finished its reads —
-// it cannot have reached the rendezvous otherwise.
-func (g *Group) recycleScratch(w *Worker, scratch *tensor.Matrix) {
-	if scratch != nil {
-		w.Workspace().Put(scratch)
+// AllGatherInto gathers every member's equal-shaped block into each
+// member's own dst, concatenated in canonical order — the allocation-free
+// AllGather for callers that would immediately pack the blocks into one
+// matrix. The orientation follows dst's shape: [n·rows, cols] stacks the
+// blocks vertically, [rows, n·cols] side by side. Every member's m is fully
+// read before the call returns (no snapshot, no aliasing), and time and
+// statistics are charged exactly like AllGather. Returns dst.
+func (g *Group) AllGatherInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, opAllGatherInto)
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to allgather-into", w.rank))
 	}
+	if dst == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil dst to allgather-into", w.rank))
+	}
+	n := len(g.ranks)
+	vcat := dst.Rows == n*m.Rows && dst.Cols == m.Cols
+	hcat := dst.Rows == m.Rows && dst.Cols == n*m.Cols
+	if !vcat && !hcat {
+		panic(fmt.Sprintf("dist: allgather-into dst %dx%d fits neither %dx%d nor %dx%d for %d blocks of %dx%d",
+			dst.Rows, dst.Cols, n*m.Rows, m.Cols, m.Rows, n*m.Cols, n, m.Rows, m.Cols))
+	}
+	g.retire(g.runBlocking(w, opAllGatherInto, -1, idx, m, dst))
+	return dst
 }
 
 // Barrier blocks until every member arrives, then advances all clocks to
 // the common post-barrier time. It moves no payload.
 func (g *Group) Barrier(w *Worker) {
-	idx := g.mustIndex(w, "barrier")
-	g.retire(g.rendezvous(w, "barrier", -1, idx, nil, nil, func(r *round) {
-		r.newClock = maxClock(r.clocks) + g.c.cost.barrierTime(len(g.ranks))
-		g.c.stats.record("barrier", 0, 0)
-	}))
+	idx := g.mustIndex(w, opBarrier)
+	g.retire(g.runBlocking(w, opBarrier, -1, idx, nil, nil))
 }

@@ -28,10 +28,10 @@ type CostModel struct {
 // across its four GPUs.
 func MeluxinaModel() CostModel {
 	return CostModel{
-		FLOPS:     312e12 * 0.8,  // A100 fp16 peak × sustained efficiency
-		Alpha:     2e-6,          // collective launch latency
-		BetaIntra: 1.0 / 250e9,   // NVLink3 effective per direction
-		BetaInter: 1.0 / 6.25e9,  // 200 Gb/s HDR shared by 4 GPUs
+		FLOPS:     312e12 * 0.8, // A100 fp16 peak × sustained efficiency
+		Alpha:     2e-6,         // collective launch latency
+		BetaIntra: 1.0 / 250e9,  // NVLink3 effective per direction
+		BetaInter: 1.0 / 6.25e9, // 200 Gb/s HDR shared by 4 GPUs
 	}
 }
 
@@ -62,6 +62,56 @@ func (m CostModel) withDefaults() CostModel {
 		m.BetaInter = def.BetaInter
 	}
 	return m
+}
+
+// OverlapTime is the overlap-aware cost of one pipelined stage: comm that
+// runs concurrently with compute costs max(comm, compute) instead of their
+// sum. It is the per-iteration term of PipelinedSummaTime, exposed so
+// callers can price other overlapped schedules (gradient sync behind a
+// backward pass, a pipeline handoff behind a reduce).
+func OverlapTime(comm, compute float64) float64 {
+	return math.Max(comm, compute)
+}
+
+// HiddenFraction predicts the fraction of comm time a perfectly pipelined
+// schedule hides behind compute: min(comm, compute)/comm — all of it when
+// compute dominates, compute/comm of it when comm dominates. Zero comm
+// hides trivially (returns 1). Compare against Cluster.Overlap's measured
+// fraction.
+func HiddenFraction(comm, compute float64) float64 {
+	if comm <= 0 {
+		return 1
+	}
+	return math.Min(comm, compute) / comm
+}
+
+// PipelinedSummaTime predicts one double-buffered SUMMA pass of q
+// iterations with per-iteration communication commPerIter and GEMM time
+// computePerIter: the first panel transfer cannot hide (pipeline fill),
+// after which every iteration costs max(comm, compute) instead of the
+// blocking schedule's comm + compute.
+func (m CostModel) PipelinedSummaTime(q int, commPerIter, computePerIter float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	return commPerIter + float64(q)*OverlapTime(commPerIter, computePerIter)
+}
+
+// BroadcastSeconds prices a binomial-tree broadcast of b bytes among n
+// ranks (inter-node links when interNode is set) — the per-iteration comm
+// term analytic studies feed into PipelinedSummaTime and HiddenFraction.
+func (m CostModel) BroadcastSeconds(n int, b int64, interNode bool) float64 {
+	beta := m.BetaIntra
+	if interNode {
+		beta = m.BetaInter
+	}
+	return m.broadcastTime(n, b, beta)
+}
+
+// GEMMSeconds prices the 2·m·n·k flops of an [mm×kk]·[kk×nn] multiply at
+// the model's sustained rate.
+func (m CostModel) GEMMSeconds(mm, nn, kk float64) float64 {
+	return 2 * mm * nn * kk / m.FLOPS
 }
 
 // treeSteps is ⌈log₂ n⌉, the depth of a binomial tree over n ranks.

@@ -68,3 +68,43 @@ func TestClusterWithPartialCostModelHasFiniteClocks(t *testing.T) {
 		t.Fatalf("simulated clock %g must be finite and positive", mc)
 	}
 }
+
+func TestOverlapEstimates(t *testing.T) {
+	if got := OverlapTime(3, 5); got != 5 {
+		t.Fatalf("OverlapTime(3,5) = %g, want max = 5", got)
+	}
+	if got := HiddenFraction(4, 2); got != 0.5 {
+		t.Fatalf("HiddenFraction(4,2) = %g, want 0.5 (compute hides half the comm)", got)
+	}
+	if got := HiddenFraction(2, 4); got != 1 {
+		t.Fatalf("HiddenFraction(2,4) = %g, want 1 (comm fully hidden)", got)
+	}
+	if got := HiddenFraction(0, 4); got != 1 {
+		t.Fatalf("HiddenFraction(0,4) = %g, want the trivial 1", got)
+	}
+	m := MeluxinaModel()
+	// Blocking SUMMA pays q·(comm+compute); the pipelined estimate pays the
+	// fill plus q·max — strictly cheaper whenever both terms are nonzero.
+	q, comm, comp := 4, 3.0, 2.0
+	blocking := float64(q) * (comm + comp)
+	pipelined := m.PipelinedSummaTime(q, comm, comp)
+	if want := comm + float64(q)*comm; pipelined != want {
+		t.Fatalf("PipelinedSummaTime = %g, want fill + q·max = %g", pipelined, want)
+	}
+	if pipelined >= blocking {
+		t.Fatalf("pipelined estimate %g should undercut blocking %g", pipelined, blocking)
+	}
+	if m.PipelinedSummaTime(0, comm, comp) != 0 {
+		t.Fatal("zero iterations must cost nothing")
+	}
+	// Exported pricing helpers agree with the internal charge functions.
+	if got, want := m.BroadcastSeconds(4, 1024, false), m.broadcastTime(4, 1024, m.BetaIntra); got != want {
+		t.Fatalf("BroadcastSeconds intra = %g, want %g", got, want)
+	}
+	if got, want := m.BroadcastSeconds(4, 1024, true), m.broadcastTime(4, 1024, m.BetaInter); got != want {
+		t.Fatalf("BroadcastSeconds inter = %g, want %g", got, want)
+	}
+	if got := m.GEMMSeconds(10, 20, 30); got != 2*10*20*30/m.FLOPS {
+		t.Fatalf("GEMMSeconds = %g", got)
+	}
+}

@@ -57,7 +57,7 @@ func New(cfg Config) *Cluster {
 		gpn:    gpn,
 		groups: make(map[string]*Group),
 		mail:   newMailboxSet(),
-		stats:  newStatsBook(),
+		stats:  newStatsBook(cfg.WorldSize),
 		abort:  make(chan struct{}),
 	}
 	c.workers = make([]*Worker, cfg.WorldSize)
@@ -110,6 +110,11 @@ func (c *Cluster) Run(fn func(w *Worker) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	// Every worker unwound quietly but the cluster aborted anyway (a
+	// failure surfaced outside any worker's own frame): report the poison.
+	if err := c.abortedErr(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -192,13 +197,40 @@ func (c *Cluster) MaxClock() float64 {
 	return out
 }
 
-// ResetClocks zeroes every worker clock, starting a new timing window while
-// keeping traffic statistics.
+// ResetClocks zeroes every worker clock and every group's comm-channel
+// state, starting a new timing window while keeping traffic statistics.
+// Call it between Runs only.
 func (c *Cluster) ResetClocks() {
 	for _, w := range c.workers {
 		w.clock = 0
+		w.commTotal = 0
+		w.commHidden = 0
 	}
+	c.groupMu.Lock()
+	for _, g := range c.groups {
+		g.mu.Lock()
+		g.lastFinish = 0
+		g.mu.Unlock()
+	}
+	c.groupMu.Unlock()
+}
+
+// Overlap reports the simulated communication seconds accumulated since the
+// last ResetClocks across all workers, and the portion that was hidden
+// behind compute by nonblocking collectives (issue → Wait windows the
+// workers spent computing). hidden/total is the overlap fraction the
+// benchmarks report. Call it between Runs (it does not synchronise with
+// running workers).
+func (c *Cluster) Overlap() (hidden, total float64) {
+	for _, w := range c.workers {
+		hidden += w.commHidden
+		total += w.commTotal
+	}
+	return hidden, total
 }
 
 // Stats returns a snapshot of the accumulated communication statistics.
+// Like MaxClock, call it between Runs: the per-rank shards it sums are
+// plain memory written by the worker goroutines, so a snapshot taken while
+// a Run is in progress would race.
 func (c *Cluster) Stats() Stats { return c.stats.snapshot() }

@@ -351,3 +351,22 @@ func TestDeterministicTreeReduction(t *testing.T) {
 		}
 	}
 }
+
+func TestReduceShapeMismatchPanics(t *testing.T) {
+	// Program divergence (members contributing different shapes to one
+	// reduction) must fail loudly, not silently prefix-sum — including on
+	// groups larger than two, where the centralized combine does the adds.
+	c := New(Config{WorldSize: 3})
+	err := c.Run(func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		m := tensor.New(2, 2)
+		if w.Rank() == 1 {
+			m = tensor.New(4, 4)
+		}
+		g.AllReduce(w, m)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "contributed") {
+		t.Fatalf("expected a descriptive shape-mismatch abort, got %v", err)
+	}
+}

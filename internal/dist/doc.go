@@ -28,38 +28,73 @@
 // Collectives move pointers, not bytes: a Broadcast hands the root's matrix
 // to every member zero-copy (results are read-only by convention), an
 // AllGather shares each contributor's block in place. Reduce and AllReduce
-// run a binomial tree over per-pair channels so the partial additions are
-// spread across the member goroutines instead of funnelling through one
-// rank, and each member's accumulator buffer is reused in place across its
-// subtree arrivals. AllReduce hands every member its own
-// freshly-owned copy of the sum (callers may mutate the result — the data-
-// parallel gradient average does), which also keeps the d depth replicas of
-// a Tesseract parameter bit-identical: one sum is computed once, then
-// cloned.
+// sum in the fixed association of a binomial tree over the group's virtual
+// positions — deterministic regardless of scheduling, which keeps the d
+// depth replicas of a Tesseract parameter bit-identical. AllReduce hands
+// every member its own freshly-owned copy of the sum (callers may mutate
+// the result — the data-parallel gradient average does).
 //
 // Hot paths that would immediately copy or discard those snapshots use the
 // destination-passing variants instead: BroadcastInto copies the root's
-// payload into every member's own buffer while all members are still parked
-// at the rendezvous (no snapshot clone, and the root may mutate its payload
-// the moment the call returns), ReduceInto accumulates the binomial-tree
-// sum straight into the root's accumulator, and AllReduceInto lands each
-// member's copy in a caller-supplied destination that may alias its input —
-// an in-place all-reduce. All three are bit-identical to their cloning
-// counterparts and charge the same simulated time; their contract that
-// every cross-member read completes before any member returns is what lets
-// SUMMA reuse one receive panel and one partial buffer across all of its
+// payload into every member's own buffer while the operation is in flight
+// (no snapshot clone, and the root may mutate its payload the moment the
+// call returns), ReduceInto accumulates the tree-associated sum straight
+// into the root's accumulator, AllReduceInto lands each member's copy in a
+// caller-supplied destination that may alias its input — an in-place
+// all-reduce — and AllGatherInto packs every member's block into each
+// member's own concatenated destination (vertically or horizontally,
+// chosen by the destination's shape). All are bit-identical to their
+// cloning counterparts and charge the same simulated time; their contract
+// that every cross-member read completes before any member returns is what
+// lets SUMMA reuse its receive panels and partial buffers across
 // iterations (see tensor.Workspace for the ownership rules). Each Worker
 // carries a tensor.Workspace (Worker.Workspace) so those buffers are pooled
 // per rank without locking.
 //
-// Every collective ends at a rendezvous where the last arriver advances all
-// member clocks to max(clock) + simulated op time and records the operation
-// once in the cluster statistics. Rendezvous rounds and their wake-up
-// channels are recycled per group, so a steady-state collective allocates
-// nothing. Because the simulated cost depends only on shapes and group
-// topology — never on data or goroutine scheduling — phantom-mode runs
-// charge exactly the clock of the real execution, and repeated runs are
-// deterministic.
+// # Nonblocking collectives
+//
+// IBroadcastInto, IReduceInto and IAllReduceInto issue the same operations
+// without blocking and return a Handle; the caller computes, then calls
+// Wait. Three rules make the asynchrony safe and deterministic:
+//
+//   - Ordering. A worker's operations on one group — blocking calls and
+//     nonblocking issues alike — pair up with its peers' strictly in
+//     per-worker issue order. All members must therefore issue the same
+//     sequence of collectives on a group, exactly as with the blocking
+//     API; the runtime panics on kind/root mismatches. Several operations
+//     of one group may be in flight at once (the double-buffered SUMMA
+//     keeps two), and operations on different groups interleave freely.
+//
+//   - Buffer ownership. Every matrix lent to an in-flight collective
+//     (payload and destination) is borrowed from issue until Wait returns:
+//     it must not be read, written or recycled in between. The workspace
+//     enforces the recycling half — Put of a borrowed buffer and
+//     ReleaseAll with any outstanding borrow panic, so a handle that
+//     crosses a step boundary is caught, not silently corrupted.
+//
+//   - Completion. The operation's data movement happens while the handle
+//     is in flight, performed by whichever member arrives last; results
+//     are a pure function of the inputs (sums in virtual-tree order), so
+//     they are bit-identical to the blocking forms no matter which member
+//     finishes or when Wait is called. Wait must be called exactly once —
+//     a second Wait panics.
+//
+// Simulated time models the overlap: a nonblocking operation's comm time
+// runs concurrently with the issuing worker's compute, so Wait advances the
+// clock to max(compute, comm) instead of their sum. Operations on one group
+// serialise behind each other (each communicator is one pipeline channel
+// over its links); Cluster.Overlap reports how much comm time the workers
+// hid behind compute, and CostModel.PipelinedSummaTime/HiddenFraction give
+// the matching analytic estimates.
+//
+// Every collective completes at a rendezvous where the finishing member
+// computes the outcome once — results, max(clock) + simulated op time, and
+// the statistics record. Rounds and their wake-up channels are recycled per
+// group, and handles are plain values, so a steady-state collective —
+// blocking or nonblocking — allocates nothing. Because the simulated cost
+// depends only on shapes and group topology — never on data or goroutine
+// scheduling — phantom-mode runs charge exactly the clock of the real
+// execution, and repeated runs are deterministic.
 //
 // # Cost model
 //

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -10,45 +11,102 @@ import (
 // Group is a communicator over a fixed, ordered set of cluster ranks. The
 // rank list passed to Cluster.Group is the canonical order: AllGather
 // returns blocks in it, Index maps a cluster rank to its slot. Members must
-// invoke the same sequence of collectives on a group; the runtime checks
-// that concurrent arrivals agree on the operation and root.
+// invoke the same sequence of collectives on a group — blocking calls and
+// nonblocking issues count alike, in per-member program order; the runtime
+// checks that the arrivals pairing into one operation agree on the kind and
+// root.
 type Group struct {
 	c     *Cluster
 	ranks []int
 	index map[int]int
 	beta  float64 // per-byte cost of the slowest link the group spans
 
-	mail *mailboxSet // tree edges, keyed by group index pairs
-
 	mu    sync.Mutex
-	cur   *round
+	open  []*round // incomplete operations, oldest first
 	spare []*round // retired rounds, recycled to keep collectives off the allocator
+
+	// lastFinish is the simulated time the group's previous operation
+	// completed. Operations on one group serialise behind it — the group
+	// models a single pipeline channel over its links — while operations
+	// on different groups (a mesh row versus its columns, say) may overlap
+	// freely, which is what the double-buffered SUMMA schedules exploit.
+	lastFinish float64
+
+	vdata [][]float64 // finish()-local scratch: slot data in virtual tree order
 }
 
-// round is one in-flight collective: a rendezvous that collects every
-// member's clock (and optional payload/destination slots), then lets the
-// last arriver compute the outcome exactly once. Rounds are recycled: after
-// every member has extracted its outcome and called retire, the round
-// returns to the group's spare list and the next collective reuses it.
+// opKind names the collective an arrival wants to run; arrivals pairing
+// into one round must agree on it.
+type opKind uint8
+
+const (
+	opBroadcast opKind = iota
+	opBroadcastInto
+	opReduce
+	opReduceInto
+	opAllReduce
+	opAllReduceInto
+	opAllGather
+	opAllGatherInto
+	opBarrier
+)
+
+var opKindNames = [...]string{
+	"broadcast", "broadcast-into", "reduce", "reduce-into",
+	"allreduce", "allreduce-into", "allgather", "allgather-into", "barrier",
+}
+
+func (k opKind) String() string { return opKindNames[k] }
+
+// round is one collective operation in flight: every member contributes its
+// clock and payload/destination slots, and the last member to arrive
+// computes the outcome — data movement, summation, time and statistics —
+// exactly once, under the group lock. Because the whole outcome is a pure
+// function of the slots (sums combine in virtual binomial-tree order, never
+// in arrival order), results are bit-identical across runs and identical to
+// the distributed tree schedule this engine replaced.
+//
+// Arrivals need not block: a nonblocking issue fills its slot and returns a
+// Handle, and the member collects the outcome at Wait. Rounds are recycled
+// through the spare list once every member has retired.
 //
 // done is a buffered token channel rather than a closed one so it survives
-// recycling: the last arriver deposits exactly one token per parked member,
-// each waiter consumes exactly one, and the drained channel is ready for
-// the next round without reallocation. (A round abandoned by an abort may
-// hold stale tokens, but such a round is never recycled — its members never
-// all retire.)
+// recycling: the finisher deposits exactly one token per member registered
+// in r.parked (members that committed to blocking before completion), each
+// parked member consumes exactly one, and members that observe completion
+// first never touch the channel at all — so deposits always equal
+// consumptions and the drained channel is ready for the next round without
+// reallocation. completed is set after the deposits; parking registration
+// and completion serialise under the group lock.
 type round struct {
-	op      string
-	root    int
+	kind    opKind
+	root    int // group index of the root, -1 for rootless ops
 	arrived int
-	exited  int
+	parked  int // members registered on the done channel before completion
+	exited  atomic.Int32
+	filled  []bool
+	waited  []bool // per-member: a nonblocking handle already waited this slot
 	clocks  []float64
 	slots   []*tensor.Matrix
 	dsts    []*tensor.Matrix
+	results []*tensor.Matrix // per-member owned outputs (classic all-reduce)
 	done    chan struct{}
 
+	// gen increments every time the round is recycled, so a stale Handle
+	// (kept past its Wait while the round moved on) is detected instead of
+	// silently corrupting a live operation.
+	gen atomic.Uint32
+
+	completed atomic.Bool
+
+	// commBase is the time the operation actually starts (latest member
+	// arrival and the group channel both ready), newClock its completion
+	// time. newClock − commBase is the comm time the overlap statistics
+	// attribute to the operation.
+	commBase float64
 	newClock float64
-	result   *tensor.Matrix
+
+	result *tensor.Matrix
 }
 
 func newGroup(c *Cluster, ranks []int) *Group {
@@ -57,7 +115,6 @@ func newGroup(c *Cluster, ranks []int) *Group {
 		ranks: append([]int(nil), ranks...),
 		index: make(map[int]int, len(ranks)),
 		beta:  c.cost.BetaIntra,
-		mail:  newMailboxSet(),
 	}
 	for i, r := range g.ranks {
 		if _, dup := g.index[r]; dup {
@@ -87,7 +144,7 @@ func (g *Group) Index(rank int) int {
 }
 
 // mustIndex resolves the calling worker's slot, panicking for non-members.
-func (g *Group) mustIndex(w *Worker, op string) int {
+func (g *Group) mustIndex(w *Worker, op opKind) int {
 	idx, ok := g.index[w.rank]
 	if !ok {
 		panic(fmt.Sprintf("dist: rank %d is not a member of group %v (%s)", w.rank, g.ranks, op))
@@ -95,218 +152,345 @@ func (g *Group) mustIndex(w *Worker, op string) int {
 	return idx
 }
 
-// rendezvous parks the caller in the current round (creating or recycling
-// it on first arrival), runs finish exactly once when the last member
-// arrives, and advances the caller's clock to the agreed post-op time. It
-// unblocks with an abort unwind if the cluster dies while waiting.
-//
-// The returned round is only valid until the caller retires it: every
-// member must call g.retire(r) after reading what it needs (result, slots),
-// at which point the round may be handed to the next collective.
-func (g *Group) rendezvous(w *Worker, op string, root int, idx int, slot, dst *tensor.Matrix, finish func(r *round)) *round {
+// join files the caller's arrival for its next operation on this group: the
+// oldest open round this member has not joined yet, or a fresh one. It
+// never blocks. If the arrival completes the round, the caller runs finish
+// inline and wakes the parked members. Returns the round and whether the
+// caller was the finisher.
+func (g *Group) join(w *Worker, kind opKind, root, idx int, slot, dst *tensor.Matrix) (*round, bool) {
 	w.c.checkAbort()
 	g.mu.Lock()
-	r := g.cur
-	if r == nil {
-		r = g.newRound(op, root)
-		g.cur = r
+	var r *round
+	for _, cand := range g.open {
+		if !cand.filled[idx] {
+			r = cand
+			break
+		}
 	}
-	if r.op != op || r.root != root {
+	if r == nil {
+		r = g.newRound(kind, root)
+		g.open = append(g.open, r)
+	}
+	if r.kind != kind || r.root != root {
 		g.mu.Unlock()
 		panic(fmt.Sprintf("dist: rank %d joined %s(root %d) while group %v is running %s(root %d)",
-			w.rank, op, root, g.ranks, r.op, r.root))
+			w.rank, kind, rootRank(g, root), g.ranks, r.kind, rootRank(g, r.root)))
 	}
+	r.filled[idx] = true
 	r.clocks[idx] = w.clock
 	r.slots[idx] = slot
 	r.dsts[idx] = dst
 	r.arrived++
 	last := r.arrived == len(g.ranks)
 	if last {
-		g.cur = nil
-		finish(r)
-		for i := 0; i < len(g.ranks)-1; i++ {
+		// Members fill rounds oldest-first, so a complete round is
+		// necessarily the oldest open one.
+		if g.open[0] != r {
+			g.mu.Unlock()
+			panic(fmt.Sprintf("dist: group %v completed %s out of order", g.ranks, kind))
+		}
+		copy(g.open, g.open[1:])
+		g.open[len(g.open)-1] = nil
+		g.open = g.open[:len(g.open)-1]
+		g.finish(w.rank, r)
+		for i := 0; i < r.parked; i++ {
 			r.done <- struct{}{}
 		}
+		r.completed.Store(true)
 	}
 	g.mu.Unlock()
-	if !last {
-		select {
-		case <-r.done:
-		case <-w.c.abort:
-			panic(abortSignal{})
+	return r, last
+}
+
+func rootRank(g *Group, rootIdx int) int {
+	if rootIdx < 0 {
+		return -1
+	}
+	return g.ranks[rootIdx]
+}
+
+// waitRound parks the caller until the round completes (the finisher and
+// post-completion waiters pass through without blocking), then advances the
+// caller's clock to the operation's completion time and accounts how much of
+// the operation's comm time the caller's own compute hid.
+func (g *Group) waitRound(w *Worker, r *round, finisher bool) {
+	if !finisher && !r.completed.Load() {
+		// Register as parked under the lock (tokens are deposited only for
+		// registered parkers, so a recycled round's channel is always
+		// drained), unless completion raced ahead of us.
+		g.mu.Lock()
+		parking := !r.completed.Load()
+		if parking {
+			r.parked++
+		}
+		g.mu.Unlock()
+		if parking {
+			select {
+			case <-r.done:
+			case <-w.c.abort:
+				panic(abortSignal{})
+			}
 		}
 	}
-	w.clock = r.newClock
-	return r
+	if total := r.newClock - r.commBase; total > 0 {
+		hidden := w.clock - r.commBase
+		if hidden < 0 {
+			hidden = 0
+		} else if hidden > total {
+			hidden = total
+		}
+		w.commTotal += total
+		w.commHidden += hidden
+	}
+	if r.newClock > w.clock {
+		w.clock = r.newClock
+	}
 }
 
 // newRound recycles a spare round or allocates the group's first few. The
 // caller must hold g.mu.
-func (g *Group) newRound(op string, root int) *round {
+func (g *Group) newRound(kind opKind, root int) *round {
 	n := len(g.ranks)
 	if s := len(g.spare); s > 0 {
 		r := g.spare[s-1]
 		g.spare[s-1] = nil
 		g.spare = g.spare[:s-1]
-		r.op, r.root = op, root
-		r.arrived, r.exited = 0, 0
+		r.kind, r.root = kind, root
+		r.arrived, r.parked = 0, 0
+		r.exited.Store(0)
+		r.gen.Add(1)
 		for i := 0; i < n; i++ {
+			r.filled[i] = false
+			r.waited[i] = false
 			r.clocks[i] = 0
-			r.slots[i], r.dsts[i] = nil, nil
+			r.slots[i], r.dsts[i], r.results[i] = nil, nil, nil
 		}
-		r.newClock, r.result = 0, nil
+		r.completed.Store(false)
+		r.commBase, r.newClock = 0, 0
+		r.result = nil
 		return r
 	}
 	return &round{
-		op:     op,
-		root:   root,
-		clocks: make([]float64, n),
-		slots:  make([]*tensor.Matrix, n),
-		dsts:   make([]*tensor.Matrix, n),
-		done:   make(chan struct{}, n),
+		kind:    kind,
+		root:    root,
+		filled:  make([]bool, n),
+		waited:  make([]bool, n),
+		clocks:  make([]float64, n),
+		slots:   make([]*tensor.Matrix, n),
+		dsts:    make([]*tensor.Matrix, n),
+		results: make([]*tensor.Matrix, n),
+		done:    make(chan struct{}, n),
 	}
 }
 
 // retire signals that the caller is done reading r. The last member to
 // retire returns the round to the spare list; until then recycling is
-// blocked, so parked members can still read the outcome safely. A member
+// blocked, so other members can still read the outcome safely. A member
 // unwound by an abort never retires — that round is simply dropped to the
 // garbage collector along with the poisoned cluster.
 func (g *Group) retire(r *round) {
-	g.mu.Lock()
-	r.exited++
-	if r.exited == len(g.ranks) {
-		// Drop payload references now rather than at reuse: a group that
-		// goes quiet must not pin its last collective's matrices.
-		for i := range r.slots {
-			r.slots[i], r.dsts[i] = nil, nil
-		}
-		r.result = nil
-		g.spare = append(g.spare, r)
+	if int(r.exited.Add(1)) != len(g.ranks) {
+		return
 	}
+	// Drop payload references now rather than at reuse: a group that goes
+	// quiet must not pin its last collective's matrices.
+	for i := range r.slots {
+		r.slots[i], r.dsts[i], r.results[i] = nil, nil, nil
+	}
+	r.result = nil
+	g.mu.Lock()
+	g.spare = append(g.spare, r)
 	g.mu.Unlock()
 }
 
-// vpos maps a group index to its virtual position in a tree rooted at
-// rootIdx (the root sits at virtual position 0).
-func (g *Group) vpos(idx, rootIdx int) int {
+// finish computes a completed round's outcome exactly once, under g.mu:
+// data movement and summation, the post-op clock, and the traffic
+// statistics. It runs on whichever member arrived last, but everything it
+// computes is a pure function of the slots, so the outcome is independent
+// of scheduling.
+func (g *Group) finish(rank int, r *round) {
 	n := len(g.ranks)
-	return (idx - rootIdx + n) % n
-}
-
-// rpos inverts vpos.
-func (g *Group) rpos(v, rootIdx int) int {
-	n := len(g.ranks)
-	return (v + rootIdx) % n
-}
-
-// sendEdge / recvEdge move a packet along one tree edge (addressed by group
-// indices). Edge traffic carries no clock: collective time is charged once
-// at the rendezvous.
-func (g *Group) sendEdge(from, to int, p packet) {
-	g.mail.box(from, to).put(p)
-}
-
-func (g *Group) recvEdge(w *Worker, from, to int) packet {
-	p, ok := g.mail.box(from, to).take(w.c.abort)
-	if !ok {
-		panic(abortSignal{})
+	r.commBase = maxClock(r.clocks)
+	if g.lastFinish > r.commBase {
+		r.commBase = g.lastFinish
 	}
-	return p
-}
-
-// treeReduce runs a binomial reduction toward rootIdx. The caller's matrix
-// is never mutated: the first subtree arrival provides this member's
-// accumulator, which is then reused in place for every further arrival and
-// handed to the parent as the subtree sum. Returns the full sum at the
-// root (always an owned, non-pooled buffer — it escapes to the collective's
-// caller) and nil elsewhere.
-//
-// Interior nodes (non-root members with subtree children) draw their
-// accumulator from the worker's workspace instead of allocating; it comes
-// back as scratch, and the collective recycles it after its closing
-// rendezvous — by which point the parent is guaranteed to have consumed it,
-// since the parent cannot reach the rendezvous before finishing its adds.
-func (g *Group) treeReduce(w *Worker, idx, rootIdx int, m *tensor.Matrix) (sum, scratch *tensor.Matrix) {
-	n := len(g.ranks)
-	v := g.vpos(idx, rootIdx)
-	acc, owned := m, false
-	for step := 1; step < n; step <<= 1 {
-		if v&step != 0 {
-			g.sendEdge(idx, g.rpos(v-step, rootIdx), packet{m: acc})
-			return nil, scratch
+	cost := &g.c.cost
+	switch r.kind {
+	case opBroadcast, opBroadcastInto:
+		m := r.slots[r.root]
+		if m == nil {
+			panic(fmt.Sprintf("dist: broadcast root %d passed a nil payload", rootRank(g, r.root)))
 		}
-		if v+step < n {
-			p := g.recvEdge(w, g.rpos(v+step, rootIdx), idx)
-			if owned {
-				tensor.AddInPlace(acc, p.m)
-			} else if v != 0 {
-				scratch = w.Workspace().GetUninitMatch(m.Rows, m.Cols, m.Phantom() || p.m.Phantom())
-				tensor.AddTo(scratch, m, p.m)
-				acc, owned = scratch, true
-			} else {
-				acc, owned = tensor.Add(acc, p.m), true
-			}
-		}
-	}
-	if !owned {
-		// n == 1: nothing arrived; hand back an owned copy anyway so every
-		// caller may mutate the result.
-		acc = acc.Clone()
-	}
-	return acc, scratch
-}
-
-// treeReduceInto is treeReduce for a root that supplies its own accumulator:
-// the root's subtree arrivals sum into dst (same arrival order, so the
-// association — and therefore every bit — matches treeReduce), and dst may
-// alias m. Non-root members run the unchanged sending protocol and return a
-// nil sum; only the root may pass a non-nil dst. Like treeReduce it hands
-// back interior-node scratch for the collective to recycle after its
-// rendezvous.
-func (g *Group) treeReduceInto(w *Worker, idx, rootIdx int, m, dst *tensor.Matrix) (sum, scratch *tensor.Matrix) {
-	if idx != rootIdx {
-		return g.treeReduce(w, idx, rootIdx, m)
-	}
-	n := len(g.ranks)
-	first := true
-	for step := 1; step < n; step <<= 1 {
-		p := g.recvEdge(w, g.rpos(step, rootIdx), idx)
-		if first {
-			tensor.AddTo(dst, m, p.m)
-			first = false
+		if r.kind == opBroadcast {
+			r.result = m
 		} else {
-			tensor.AddInPlace(dst, p.m)
+			for _, d := range r.dsts {
+				tensor.CopyInto(d, m)
+			}
 		}
+		bytes := matrixBytes(m)
+		r.newClock = r.commBase + cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statBroadcast, int64(n-1), int64(n-1)*bytes)
+
+	case opReduce:
+		m := r.slots[r.root]
+		var dst *tensor.Matrix
+		if m.Phantom() {
+			dst = tensor.NewPhantom(m.Rows, m.Cols)
+		} else {
+			dst = tensor.New(m.Rows, m.Cols)
+		}
+		g.combineInto(r, dst)
+		r.result = dst
+		bytes := matrixBytes(m)
+		r.newClock = r.commBase + cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statReduce, int64(n-1), int64(n-1)*bytes)
+
+	case opReduceInto:
+		g.combineInto(r, r.dsts[r.root])
+		bytes := matrixBytes(r.slots[r.root])
+		r.newClock = r.commBase + cost.broadcastTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statReduce, int64(n-1), int64(n-1)*bytes)
+
+	case opAllReduce:
+		m := r.slots[0]
+		var dst *tensor.Matrix
+		if m.Phantom() {
+			dst = tensor.NewPhantom(m.Rows, m.Cols)
+		} else {
+			dst = tensor.New(m.Rows, m.Cols)
+		}
+		g.combineInto(r, dst)
+		// Every member owns its copy outright, so the copies must exist
+		// before any member can see the outcome and start mutating its own.
+		r.results[0] = dst
+		for i := 1; i < n; i++ {
+			r.results[i] = dst.Clone()
+		}
+		bytes := matrixBytes(m)
+		r.newClock = r.commBase + cost.allReduceTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statAllReduce, 2*int64(n-1), 2*int64(n-1)*bytes)
+
+	case opAllReduceInto:
+		dst := r.dsts[0]
+		g.combineInto(r, dst)
+		for i := 1; i < n; i++ {
+			tensor.CopyInto(r.dsts[i], dst)
+		}
+		bytes := matrixBytes(r.slots[0])
+		r.newClock = r.commBase + cost.allReduceTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statAllReduce, 2*int64(n-1), 2*int64(n-1)*bytes)
+
+	case opAllGather, opAllGatherInto:
+		var sum, max int64
+		for _, s := range r.slots {
+			b := matrixBytes(s)
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		if r.kind == opAllGatherInto {
+			g.gatherInto(r)
+		}
+		r.newClock = r.commBase + cost.allGatherTime(n, max, g.beta)
+		g.c.stats.record(rank, statAllGather, int64(n)*int64(n-1), int64(n-1)*sum)
+
+	case opBarrier:
+		r.newClock = r.commBase + cost.barrierTime(n)
+		g.c.stats.record(rank, statBarrier, 0, 0)
 	}
-	if first {
-		tensor.CopyInto(dst, m)
-	}
-	return dst, nil
+	g.lastFinish = r.newClock
 }
 
-// treeBcast pushes m down a binomial tree from rootIdx. The root passes the
-// payload; every other member passes nil, receives the shared pointer from
-// its parent and forwards it to its children. Returns the payload.
-func (g *Group) treeBcast(w *Worker, idx, rootIdx int, m *tensor.Matrix) *tensor.Matrix {
+// combineInto sums every member's slot into dst using the association of a
+// binomial reduction tree rooted at the round's root (virtual position 0),
+// exactly as the per-edge tree this engine replaced: partial sums pair up
+// like a binary counter, every element accumulates with individually
+// rounded adds, and the result is bit-identical regardless of which member
+// finishes the round. dst may alias the root's slot (in-place reduce): each
+// element is written only after being read.
+func (g *Group) combineInto(r *round, dst *tensor.Matrix) {
 	n := len(g.ranks)
-	if n == 1 {
-		return m
+	root := r.root
+	if root < 0 {
+		root = 0
 	}
-	v := g.vpos(idx, rootIdx)
-	top := 1
-	for top < n {
-		top <<= 1
-	}
-	for step := top >> 1; step >= 1; step >>= 1 {
-		switch v % (2 * step) {
-		case 0:
-			if v+step < n {
-				g.sendEdge(idx, g.rpos(v+step, rootIdx), packet{m: m})
-			}
-		case step:
-			m = g.recvEdge(w, g.rpos(v-step, rootIdx), idx).m
+	ref := r.slots[root]
+	for i, s := range r.slots {
+		if s == nil {
+			panic(fmt.Sprintf("dist: rank %d passed nil to %s", g.ranks[i], r.kind))
+		}
+		if !s.SameShape(ref) || s.Phantom() != ref.Phantom() {
+			panic(fmt.Sprintf("dist: %s on group %v: rank %d contributed %dx%d (phantom=%v), root holds %dx%d (phantom=%v)",
+				r.kind, g.ranks, g.ranks[i], s.Rows, s.Cols, s.Phantom(), ref.Rows, ref.Cols, ref.Phantom()))
 		}
 	}
-	return m
+	if n == 1 {
+		tensor.CopyInto(dst, ref)
+		return
+	}
+	if ref.Phantom() {
+		return
+	}
+	if n == 2 {
+		tensor.AddTo(dst, ref, r.slots[(root+1)%2])
+		return
+	}
+	vdata := g.vdata[:0]
+	for v := 0; v < n; v++ {
+		vdata = append(vdata, r.slots[(v+root)%n].Data)
+	}
+	g.vdata = vdata
+	var stack [16]float64 // level l holds a partial of 2^l members; 16 levels cover any practical group
+	dd := dst.Data
+	for e := range dd {
+		cnt := 0
+		for v := 0; v < n; v++ {
+			x := vdata[v][e]
+			lvl := 0
+			for c := cnt; c&1 == 1; c >>= 1 {
+				x = stack[lvl] + x
+				lvl++
+			}
+			stack[lvl] = x
+			cnt++
+		}
+		lvl := 0
+		for cnt&(1<<lvl) == 0 {
+			lvl++
+		}
+		t := stack[lvl]
+		for lvl++; 1<<lvl <= cnt; lvl++ {
+			if cnt&(1<<lvl) != 0 {
+				t = stack[lvl] + t
+			}
+		}
+		dd[e] = t
+	}
+	// Drop the data references now that the sum is done: an idle group must
+	// not pin its last reduction's matrices (mirrors retire's slot clearing).
+	for i := range g.vdata {
+		g.vdata[i] = nil
+	}
+	g.vdata = g.vdata[:0]
+}
+
+// gatherInto copies every member's slot into every member's destination in
+// canonical order. The orientation follows the destination shape: a
+// [n·rows, cols] destination stacks the blocks vertically, a [rows, n·cols]
+// destination side by side (shapes are validated at issue time).
+func (g *Group) gatherInto(r *round) {
+	n := len(g.ranks)
+	block := r.slots[0]
+	for _, d := range r.dsts {
+		byRows := d.Rows == n*block.Rows && d.Cols == block.Cols
+		for v, s := range r.slots {
+			if byRows {
+				d.SetSubMatrix(v*block.Rows, 0, s)
+			} else {
+				d.SetSubMatrix(0, v*block.Cols, s)
+			}
+		}
+	}
 }

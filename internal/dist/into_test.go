@@ -259,3 +259,82 @@ func TestIntoCollectivesChargeLikeClassic(t *testing.T) {
 		t.Fatalf("simulated time drifted: classic %g vs into %g", classic, into)
 	}
 }
+
+// TestAllGatherInto covers both orientations, phantom propagation, and the
+// accounting equivalence with the snapshotting AllGather.
+func TestAllGatherInto(t *testing.T) {
+	const n = 4
+	rows := make([]*tensor.Matrix, n)
+	cols := make([]*tensor.Matrix, n)
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		m := fillRank(w.Rank(), 2, 3)
+		v := g.AllGatherInto(w, m, tensor.New(n*2, 3))
+		h := g.AllGatherInto(w, m, tensor.New(2, n*3))
+		rows[w.Rank()], cols[w.Rank()] = v, h
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		for member := 0; member < n; member++ {
+			want := fillRank(member, 2, 3)
+			if !rows[r].SubMatrix(member*2, 0, 2, 3).Equal(want) {
+				t.Fatalf("rank %d: vertical slot %d corrupted", r, member)
+			}
+			if !cols[r].SubMatrix(0, member*3, 2, 3).Equal(want) {
+				t.Fatalf("rank %d: horizontal slot %d corrupted", r, member)
+			}
+		}
+	}
+
+	// Phantom blocks gather into a phantom destination without arithmetic.
+	runWorld(t, n, func(w *Worker) error {
+		g := w.Cluster().WorldGroup()
+		out := g.AllGatherInto(w, tensor.NewPhantom(2, 3), tensor.NewPhantom(n*2, 3))
+		if !out.Phantom() {
+			return errRankf(w, "phantom allgather-into lost phantomness")
+		}
+		return nil
+	})
+
+	// Mismatched destination shapes must fail loudly.
+	c := New(Config{WorldSize: 1})
+	err := c.Run(func(w *Worker) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad dst shape should panic")
+			}
+		}()
+		g := w.Cluster().WorldGroup()
+		g.AllGatherInto(w, tensor.New(2, 3), tensor.New(5, 5))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clock and traffic must match AllGather exactly.
+	timeAndStats := func(into bool) (float64, Stats) {
+		c := New(Config{WorldSize: n})
+		if err := c.Run(func(w *Worker) error {
+			g := w.Cluster().WorldGroup()
+			m := fillRank(w.Rank(), 2, 3)
+			if into {
+				g.AllGatherInto(w, m, tensor.New(n*2, 3))
+			} else {
+				g.AllGather(w, m)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxClock(), c.Stats()
+	}
+	classicClock, classicStats := timeAndStats(false)
+	intoClock, intoStats := timeAndStats(true)
+	if classicClock != intoClock {
+		t.Fatalf("AllGatherInto clock %g != AllGather clock %g", intoClock, classicClock)
+	}
+	if classicStats.Messages != intoStats.Messages || classicStats.Bytes != intoStats.Bytes {
+		t.Fatalf("AllGatherInto stats %+v != AllGather stats %+v", intoStats, classicStats)
+	}
+}

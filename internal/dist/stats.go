@@ -1,7 +1,5 @@
 package dist
 
-import "sync"
-
 // OpStats aggregates the traffic of one operation kind.
 type OpStats struct {
 	// Calls counts collective invocations (one per group call, however
@@ -25,34 +23,66 @@ type Stats struct {
 	PerOp map[string]OpStats
 }
 
-// statsBook is the mutable collector behind Cluster.Stats.
+// statOp indexes the fixed set of recorded operation kinds. The Into and
+// nonblocking variants record under their base kind, so traffic accounting
+// is independent of which API flavour moved the data.
+type statOp uint8
+
+const (
+	statBroadcast statOp = iota
+	statReduce
+	statAllReduce
+	statAllGather
+	statBarrier
+	statSend
+	nStatOps
+)
+
+var statNames = [nStatOps]string{"broadcast", "reduce", "allreduce", "allgather", "barrier", "send"}
+
+// statsBook is the mutable collector behind Cluster.Stats. It is sharded
+// per rank: every record happens on a goroutine acting for exactly one
+// worker (its own frame, or the group operation it is finishing), so each
+// shard is single-writer plain memory — no locks, no atomics, no contended
+// cache line on the collective hot path. snapshot sums the shards; like
+// MaxClock it must only run between cluster runs.
 type statsBook struct {
-	mu    sync.Mutex
-	perOp map[string]OpStats
+	shards []statShard
 }
 
-func newStatsBook() *statsBook {
-	return &statsBook{perOp: make(map[string]OpStats)}
+type statShard struct {
+	ops [nStatOps]OpStats
+	_   [64]byte // keep neighbouring shards off one cache line
 }
 
-// record adds one operation of the named kind.
-func (s *statsBook) record(op string, messages, bytes int64) {
-	s.mu.Lock()
-	e := s.perOp[op]
+func newStatsBook(world int) *statsBook {
+	return &statsBook{shards: make([]statShard, world)}
+}
+
+// record adds one operation of the named kind to the acting worker's shard.
+func (s *statsBook) record(rank int, op statOp, messages, bytes int64) {
+	e := &s.shards[rank].ops[op]
 	e.Calls++
 	e.Messages += messages
 	e.Bytes += bytes
-	s.perOp[op] = e
-	s.mu.Unlock()
 }
 
-// snapshot returns an independent copy with the totals filled in.
+// snapshot returns an independent copy with the totals filled in. Kinds
+// never recorded are omitted, matching the sparse per-op map of old.
 func (s *statsBook) snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := Stats{PerOp: make(map[string]OpStats, len(s.perOp))}
-	for op, e := range s.perOp {
-		out.PerOp[op] = e
+	out := Stats{PerOp: make(map[string]OpStats, nStatOps)}
+	for op := statOp(0); op < nStatOps; op++ {
+		var e OpStats
+		for i := range s.shards {
+			c := &s.shards[i].ops[op]
+			e.Calls += c.Calls
+			e.Messages += c.Messages
+			e.Bytes += c.Bytes
+		}
+		if e.Calls == 0 {
+			continue
+		}
+		out.PerOp[statNames[op]] = e
 		out.Messages += e.Messages
 		out.Bytes += e.Bytes
 	}

@@ -14,6 +14,13 @@ type Worker struct {
 	rank  int
 	clock float64 // simulated seconds since the last ResetClocks
 	ws    *tensor.Workspace
+
+	// Overlap accounting, maintained by the collective wait path: commTotal
+	// is the simulated comm time of every collective this worker took part
+	// in, commHidden the part of it that elapsed while the worker was off
+	// computing (nonblocking issue → Wait). Both reset with ResetClocks.
+	commTotal  float64
+	commHidden float64
 }
 
 // Rank returns the cluster rank.
@@ -67,7 +74,7 @@ func (w *Worker) Send(dst int, m *tensor.Matrix) {
 	}
 	bytes := matrixBytes(m)
 	w.clock += w.c.cost.sendTime(bytes, beta)
-	w.c.stats.record("send", 1, bytes)
+	w.c.stats.record(w.rank, statSend, 1, bytes)
 	w.c.mail.box(w.rank, dst).put(packet{m: m, clock: w.clock})
 }
 

@@ -73,6 +73,11 @@ type Proc struct {
 
 	blocks []*tesseract.Block
 	x      *tensor.Matrix
+
+	// In-flight data-parallel gradient all-reduces (issue → wait), reused
+	// across steps so the sync path stays off the allocator.
+	dpParams  []*nn.Param
+	dpHandles []dist.Handle
 }
 
 // NewProc attaches a worker to the composed layout and builds its stage's
@@ -160,6 +165,12 @@ func (p *Proc) Forward(x *tensor.Matrix) *tensor.Matrix {
 // input-gradient block; others return nil. Afterwards every parameter
 // gradient is all-reduced across the data-parallel replicas and averaged,
 // keeping the replicas synchronised.
+//
+// The synchronisation is overlapped: the per-layer depth all-reduces queued
+// by the blocks drain first, then every data-parallel all-reduce is issued
+// nonblocking, the pipeline handoff to the previous stage goes out while
+// those reductions are in flight, and only then does the stage wait and
+// average — so the handoff never sits behind the gradient sync.
 func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if p.Stage == p.Cfg.PipelineStages-1 {
 		if dy == nil {
@@ -171,11 +182,13 @@ func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	for i := len(p.blocks) - 1; i >= 0; i-- {
 		dy = p.blocks[i].Backward(p.Tess, dy)
 	}
+	p.Tess.DrainGradients()
+	p.issueGradSync()
 	if p.Stage > 0 {
 		p.Tess.W.Send(p.peer(p.Stage-1), dy)
 		dy = nil
 	}
-	p.syncGradients()
+	p.waitGradSync()
 	return dy
 }
 
@@ -193,17 +206,30 @@ func (p *Proc) EndStep() {
 	w.Workspace().ReleaseAll()
 }
 
-// syncGradients averages parameter gradients across data-parallel replicas.
-func (p *Proc) syncGradients() {
+// issueGradSync launches an in-place nonblocking all-reduce of every
+// parameter gradient across the data-parallel replicas (bit-identical to
+// the blocking AllReduce it replaced, with no retained allocation).
+func (p *Proc) issueGradSync() {
 	if p.Cfg.DataParallel == 1 {
 		return
 	}
-	inv := 1 / float64(p.Cfg.DataParallel)
-	for _, pa := range p.Params() {
-		sum := p.DP.AllReduce(p.Tess.W, pa.Grad)
-		tensor.ScaleInPlace(sum, inv)
-		pa.Grad = sum
+	p.dpParams = append(p.dpParams[:0], p.Params()...)
+	p.dpHandles = p.dpHandles[:0]
+	for _, pa := range p.dpParams {
+		p.dpHandles = append(p.dpHandles, p.DP.IAllReduceInto(p.Tess.W, pa.Grad, pa.Grad))
 	}
+}
+
+// waitGradSync completes the in-flight gradient all-reduces and averages,
+// in issue order.
+func (p *Proc) waitGradSync() {
+	inv := 1 / float64(p.Cfg.DataParallel)
+	for i := range p.dpHandles {
+		p.dpHandles[i].Wait()
+		tensor.ScaleInPlace(p.dpParams[i].Grad, inv)
+	}
+	p.dpHandles = p.dpHandles[:0]
+	p.dpParams = p.dpParams[:0]
 }
 
 // ShardBatch splits a replicated global batch [b·s, cols] into the

@@ -12,12 +12,26 @@
 // A-distributed left operand (block rows h = i + k·q) each layer simply sees
 // its own q×q slice, so the same kernels serve both the 2-D baseline
 // (Optimus) and each Tesseract layer.
+//
+// # Pipelining
+//
+// All three kernels run double-buffered: two receive panels per operand,
+// iteration t's GEMM overlapped with the nonblocking prefetch broadcast of
+// panel t+1, and — in the reduce variants — with the previous iteration's
+// partial reduce still in flight (two partial buffers alternate, each
+// overwritten only after the reduce that read it has been waited). The
+// dist runtime keeps nonblocking collectives bit-identical to their
+// blocking forms and pairs them in per-worker issue order, so the
+// pipelined schedules produce exactly the bits of the blocking schedules
+// kept in blocking.go — TestPipelinedMatchesBlockingBitwise holds the
+// kernels to that.
 package summa
 
 import (
 	"fmt"
 
 	"repro/internal/compute"
+	"repro/internal/dist"
 	"repro/internal/mesh"
 	"repro/internal/tensor"
 )
@@ -28,8 +42,8 @@ import (
 //
 // The returned matrix is drawn from the calling worker's workspace: the
 // caller owns it and is responsible for recycling it (Put once its last
-// reader is done, or the step-boundary ReleaseAll). One receive panel per
-// operand is reused across all q broadcast iterations, so a steady-state
+// reader is done, or the step-boundary ReleaseAll). Two receive panels per
+// operand are reused across all q broadcast iterations, so a steady-state
 // call allocates nothing.
 func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Cols != b.Rows {
@@ -37,14 +51,26 @@ func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	}
 	ws := p.W.Workspace()
 	c := ws.GetMatch(a.Rows, b.Cols, a.Phantom() || b.Phantom())
-	aPanel := ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
-	bPanel := ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
-	for t := 0; t < p.Shape.Q; t++ {
-		ap := bcastRowInto(p, t, a, aPanel)
-		bp := bcastColInto(p, t, b, bPanel)
-		compute.MatMulInto(p.W, c, ap, bp)
+	var aPanels, bPanels [2]*tensor.Matrix
+	for i := range aPanels {
+		aPanels[i] = ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
+		bPanels[i] = ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
 	}
-	ws.Put(aPanel, bPanel)
+	var hA, hB [2]dist.Handle
+	var aps, bps [2]*tensor.Matrix
+	hA[0], aps[0] = prefetchRowPanel(p, 0, a, aPanels[0])
+	hB[0], bps[0] = prefetchColPanel(p, 0, b, bPanels[0])
+	for t := 0; t < p.Shape.Q; t++ {
+		cur := t % 2
+		if nt := t + 1; nt < p.Shape.Q {
+			hA[nt%2], aps[nt%2] = prefetchRowPanel(p, nt, a, aPanels[nt%2])
+			hB[nt%2], bps[nt%2] = prefetchColPanel(p, nt, b, bPanels[nt%2])
+		}
+		hA[cur].Wait()
+		hB[cur].Wait()
+		compute.MatMulInto(p.W, c, aps[cur], bps[cur])
+	}
+	ws.Put(aPanels[0], aPanels[1], bPanels[0], bPanels[1])
 	return c
 }
 
@@ -56,40 +82,52 @@ func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 //
 // Iteration j broadcasts B[j, t] down each grid column t, multiplies against
 // the resident A block, and reduces the partials across the row to processor
-// (i, j) — the schedule described in §3.1 of the paper.
-//
-// Like MulAB it reuses one receive panel and one partial buffer across all
-// q iterations — ReduceInto guarantees every member's partial is fully
-// consumed before the collective returns, so overwriting it next iteration
-// is safe — and the returned matrix is a workspace buffer owned by the
-// caller.
+// (i, j) — the schedule described in §3.1 of the paper, double-buffered so
+// iteration j's GEMM overlaps both the prefetch of panel j+1 and the reduce
+// of partial j−1. A partial buffer is only overwritten after the reduce that
+// consumed it has been waited, and the returned matrix is a workspace buffer
+// owned by the caller.
 func MulABT(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("summa: MulABT local blocks %dx%d by %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	ws := p.W.Workspace()
 	ph := a.Phantom() || b.Phantom()
-	bPanel := ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
-	partial := ws.GetUninitMatch(a.Rows, b.Rows, ph)
+	var bPanels, partials [2]*tensor.Matrix
+	for i := range bPanels {
+		bPanels[i] = ws.GetUninitMatch(b.Rows, b.Cols, b.Phantom())
+		partials[i] = ws.GetUninitMatch(a.Rows, b.Rows, ph)
+	}
+	var hB, hR [2]dist.Handle
+	var bps [2]*tensor.Matrix
+	var reducing [2]bool
 	var out *tensor.Matrix
+	hB[0], bps[0] = prefetchColOwnerRow(p, 0, b, bPanels[0])
 	for j := 0; j < p.Shape.Q; j++ {
-		// B[j, J] lives on grid row j of every column; broadcast it down
-		// the column so each processor can form its partial product.
-		var bp *tensor.Matrix
-		if p.I == j {
-			bp = p.Col.BroadcastInto(p.W, p.ColRank(j), b, b)
-		} else {
-			bp = p.Col.BroadcastInto(p.W, p.ColRank(j), nil, bPanel)
+		cur := j % 2
+		if nj := j + 1; nj < p.Shape.Q {
+			hB[nj%2], bps[nj%2] = prefetchColOwnerRow(p, nj, b, bPanels[nj%2])
 		}
-		compute.MatMulNTInto(p.W, partial, a, bp)
+		hB[cur].Wait()
+		if reducing[cur] {
+			hR[cur].Wait() // reduce j−2 done: its partial is ours again
+			reducing[cur] = false
+		}
+		compute.MatMulNTInto(p.W, partials[cur], a, bps[cur])
 		if p.J == j {
 			out = ws.GetUninitMatch(a.Rows, b.Rows, ph)
-			p.Row.ReduceInto(p.W, p.RowRank(j), partial, out)
+			hR[cur] = p.Row.IReduceInto(p.W, p.RowRank(j), partials[cur], out)
 		} else {
-			p.Row.ReduceInto(p.W, p.RowRank(j), partial, nil)
+			hR[cur] = p.Row.IReduceInto(p.W, p.RowRank(j), partials[cur], nil)
+		}
+		reducing[cur] = true
+	}
+	for i := range hR {
+		if reducing[i] {
+			hR[i].Wait()
 		}
 	}
-	ws.Put(bPanel, partial)
+	ws.Put(bPanels[0], bPanels[1], partials[0], partials[1])
 	return out
 }
 
@@ -103,48 +141,81 @@ func MulABT(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 // against the resident right operand, and reduces the partials down the
 // column to processor (t, j). On a Tesseract mesh the caller must still
 // all-reduce the result across the depth group (the paper's §3.1 rule for
-// B'); this function handles one layer. The panel/partial reuse and the
-// caller-owned workspace result follow MulABT.
+// B'); this function handles one layer. The double-buffered panels,
+// partial-reuse discipline and caller-owned workspace result follow MulABT.
 func MulATB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("summa: MulATB local blocks %dx%dᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	ws := p.W.Workspace()
 	ph := a.Phantom() || b.Phantom()
-	aPanel := ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
-	partial := ws.GetUninitMatch(a.Cols, b.Cols, ph)
+	var aPanels, partials [2]*tensor.Matrix
+	for i := range aPanels {
+		aPanels[i] = ws.GetUninitMatch(a.Rows, a.Cols, a.Phantom())
+		partials[i] = ws.GetUninitMatch(a.Cols, b.Cols, ph)
+	}
+	var hA, hR [2]dist.Handle
+	var aps [2]*tensor.Matrix
+	var reducing [2]bool
 	var out *tensor.Matrix
+	hA[0], aps[0] = prefetchRowPanel(p, 0, a, aPanels[0])
 	for t := 0; t < p.Shape.Q; t++ {
-		ap := bcastRowInto(p, t, a, aPanel)
-		partial.Zero() // the TN kernel accumulates; start each partial fresh
-		compute.MatMulTNInto(p.W, partial, ap, b)
+		cur := t % 2
+		if nt := t + 1; nt < p.Shape.Q {
+			hA[nt%2], aps[nt%2] = prefetchRowPanel(p, nt, a, aPanels[nt%2])
+		}
+		hA[cur].Wait()
+		if reducing[cur] {
+			hR[cur].Wait()
+			reducing[cur] = false
+		}
+		partials[cur].Zero() // the TN kernel accumulates; start each partial fresh
+		compute.MatMulTNInto(p.W, partials[cur], aps[cur], b)
 		if p.I == t {
 			out = ws.GetUninitMatch(a.Cols, b.Cols, ph)
-			p.Col.ReduceInto(p.W, p.ColRank(t), partial, out)
+			hR[cur] = p.Col.IReduceInto(p.W, p.ColRank(t), partials[cur], out)
 		} else {
-			p.Col.ReduceInto(p.W, p.ColRank(t), partial, nil)
+			hR[cur] = p.Col.IReduceInto(p.W, p.ColRank(t), partials[cur], nil)
+		}
+		reducing[cur] = true
+	}
+	for i := range hR {
+		if reducing[i] {
+			hR[i].Wait()
 		}
 	}
-	ws.Put(aPanel, partial)
+	ws.Put(aPanels[0], aPanels[1], partials[0], partials[1])
 	return out
 }
 
-// bcastRowInto broadcasts the iteration-t A panel along the grid row: the
-// owning processor shares its resident block directly (no copy), everyone
-// else receives into the reusable panel.
-func bcastRowInto(p *mesh.Proc, t int, a, panel *tensor.Matrix) *tensor.Matrix {
+// prefetchRowPanel issues the iteration-t A-panel broadcast along the grid
+// row without blocking: the owning processor lends its resident block
+// (payload doubles as destination, no copy), everyone else receives into the
+// given panel. Returns the handle and the buffer that will hold the panel
+// once the handle is waited.
+func prefetchRowPanel(p *mesh.Proc, t int, a, panel *tensor.Matrix) (dist.Handle, *tensor.Matrix) {
 	if p.J == t {
-		return p.Row.BroadcastInto(p.W, p.RowRank(t), a, a)
+		return p.Row.IBroadcastInto(p.W, p.RowRank(t), a, a), a
 	}
-	return p.Row.BroadcastInto(p.W, p.RowRank(t), nil, panel)
+	return p.Row.IBroadcastInto(p.W, p.RowRank(t), nil, panel), panel
 }
 
-// bcastColInto is bcastRowInto for B panels down the grid column.
-func bcastColInto(p *mesh.Proc, t int, b, panel *tensor.Matrix) *tensor.Matrix {
+// prefetchColPanel is prefetchRowPanel for B panels down the grid column
+// (owner at grid row t of this column).
+func prefetchColPanel(p *mesh.Proc, t int, b, panel *tensor.Matrix) (dist.Handle, *tensor.Matrix) {
 	if p.I == t {
-		return p.Col.BroadcastInto(p.W, p.ColRank(t), b, b)
+		return p.Col.IBroadcastInto(p.W, p.ColRank(t), b, b), b
 	}
-	return p.Col.BroadcastInto(p.W, p.ColRank(t), nil, panel)
+	return p.Col.IBroadcastInto(p.W, p.ColRank(t), nil, panel), panel
+}
+
+// prefetchColOwnerRow issues MulABT's iteration-j broadcast of B[j, J] down
+// the column: the owner sits at grid row j.
+func prefetchColOwnerRow(p *mesh.Proc, j int, b, panel *tensor.Matrix) (dist.Handle, *tensor.Matrix) {
+	if p.I == j {
+		return p.Col.IBroadcastInto(p.W, p.ColRank(j), b, b), b
+	}
+	return p.Col.IBroadcastInto(p.W, p.ColRank(j), nil, panel), panel
 }
 
 // DistributeB slices a global matrix into the q×q B-distribution of the

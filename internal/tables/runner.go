@@ -176,6 +176,9 @@ func (r *tesseractRunner) backward() {
 	for i := len(r.blocks) - 1; i >= 0; i-- {
 		dy = r.blocks[i].Backward(r.p, dy)
 	}
+	// The depth all-reduces overlap the per-layer backward work; the row
+	// reports the time with that overlap, so drain inside the timed phase.
+	r.p.DrainGradients()
 }
 
 // --- Optimus ---------------------------------------------------------------

@@ -313,3 +313,38 @@ func TestTableRowsWellFormed(t *testing.T) {
 		}
 	}
 }
+
+func TestOverlapStudy(t *testing.T) {
+	rows := []Row{
+		smallRow(Tesseract, 4, 2, 1),
+		smallRow(Tesseract, 8, 2, 2),
+		smallRow(Megatron, 4, 0, 0), // skipped: no SUMMA schedule
+	}
+	points, err := OverlapStudy(rows, smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want the 2 Tesseract rows", len(points))
+	}
+	for _, p := range points {
+		if p.TotalCommSeconds <= 0 {
+			t.Errorf("%s: no comm measured", p.Row.Shape())
+		}
+		if p.MeasuredFrac < 0 || p.MeasuredFrac > 1 {
+			t.Errorf("%s: measured fraction %g outside [0,1]", p.Row.Shape(), p.MeasuredFrac)
+		}
+		if p.PredictedFrac < 0 || p.PredictedFrac > 1 {
+			t.Errorf("%s: predicted fraction %g outside [0,1]", p.Row.Shape(), p.PredictedFrac)
+		}
+		if p.MeasuredFrac == 0 {
+			t.Errorf("%s: pipelined schedule hid no comm at all", p.Row.Shape())
+		}
+	}
+	out := FormatOverlap(points)
+	for _, want := range []string{"pred frac", "[2,2,2]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted overlap study missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -116,6 +116,65 @@ func matMulAccumRows(c, a, b *Matrix, i0, i1 int) {
 	}
 }
 
+// NT packing. The plain NT kernel is dot-product shaped: every C element
+// walks one A row and one B row, so nothing vectorises beyond 2×2 register
+// blocking and NT256 runs at roughly half the NN/TN rate. Above the
+// threshold below it pays to transpose B once into a row-major [k, n]
+// panel and run the NN microkernels (vectorised axpy/accum4) over the
+// packed panel instead. Both paths accumulate every C element in ascending
+// k order with individually rounded multiplies and adds, so they are
+// bitwise identical to each other and to the naive reference — see
+// TestMatMulNTPackedMatchesNaiveBitwise and the NT256 rows of
+// BenchmarkGEMMKernels for the proof and the justification.
+const (
+	// ntPackMinRows: with fewer A rows the packed panel is read too few
+	// times to amortise the transpose.
+	ntPackMinRows = 16
+	// ntPackMinFlops keeps tiny multiplies (attention heads, bias-sized
+	// blocks) on the scratch-free kernel.
+	ntPackMinFlops = 1 << 20
+)
+
+// NTPackProfitable reports whether C = A·Bᵀ of shape [m, n] = [m, k]·[n, k]ᵀ
+// is worth the packed path's [k, n] scratch panel. Callers that can supply
+// pooled scratch (compute.MatMulNTInto) consult it before drawing a buffer.
+func NTPackProfitable(m, n, k int) bool {
+	return m >= ntPackMinRows && 2*float64(m)*float64(n)*float64(k) >= ntPackMinFlops
+}
+
+// matMulNTPacked computes C = A·Bᵀ by packing Bᵀ into the caller-supplied
+// [k, n] panel and accumulating with the NN kernel from a zeroed C.
+func matMulNTPacked(c, a, b, pack *Matrix) {
+	transposeInto(pack, b)
+	c.Zero()
+	matMulAccum(c, a, pack)
+}
+
+// transposeInto writes srcᵀ into dst ([src.Cols, src.Rows]) in cache-blocked
+// tiles.
+func transposeInto(dst, src *Matrix) {
+	const tile = 32
+	rows, cols := src.Rows, src.Cols
+	for i0 := 0; i0 < rows; i0 += tile {
+		i1 := i0 + tile
+		if i1 > rows {
+			i1 = rows
+		}
+		for j0 := 0; j0 < cols; j0 += tile {
+			j1 := j0 + tile
+			if j1 > cols {
+				j1 = cols
+			}
+			for i := i0; i < i1; i++ {
+				row := src.Data[i*cols : (i+1)*cols]
+				for j := j0; j < j1; j++ {
+					dst.Data[j*rows+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
 // matMulNTKernel computes C = A·Bᵀ on real matrices (it overwrites C, never
 // reading it).
 func matMulNTKernel(c, a, b *Matrix) {

@@ -38,6 +38,25 @@ func BenchmarkGEMMKernels(b *testing.B) {
 	}
 	b.Run("NT256", func(b *testing.B) {
 		benchPair(b, 256, matMulNTKernel, matMulNTNaive)
+		// The packed path: transpose B once into a scratch panel, then run
+		// the vectorised NN microkernels. This row is the evidence for the
+		// NTPackProfitable threshold — it must beat "blocked" decisively at
+		// this size (the panel is allocated once, outside the timed loop,
+		// exactly as the workspace-drawn scratch behaves in training).
+		pack := New(256, 256)
+		b.Run("packed", func(b *testing.B) {
+			rng := NewRNG(256)
+			x := RandomMatrix(256, 256, rng)
+			y := RandomMatrix(256, 256, rng)
+			c := New(256, 256)
+			flops := 2 * float64(256) * float64(256) * float64(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matMulNTPacked(c, x, y, pack)
+			}
+			b.StopTimer()
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
 	})
 	b.Run("TN256", func(b *testing.B) {
 		benchPair(b, 256, matMulTNKernel, matMulTNNaive)

@@ -16,12 +16,12 @@ func gemmShapes() []struct{ m, k, n int } {
 		{1, 1, 1}, {1, 7, 1}, {3, 1, 5}, {2, 3, 2},
 		{5, 5, 5}, {7, 11, 13}, {8, 8, 8}, {9, 17, 33},
 		{16, 64, 16}, {31, 29, 37}, {64, 64, 64},
-		{65, 63, 67},   // just past the microkernel widths
-		{80, 80, 80},   // straddles gemmParallelFlops (2·80³ ≈ 1.02M)
-		{81, 79, 83},   // odd straddler
-		{96, 128, 96},  // above the threshold
-		{1, 300, 257},  // k longer than gemmKC, sliver output
-		{257, 300, 1},  // single-column output
+		{65, 63, 67},  // just past the microkernel widths
+		{80, 80, 80},  // straddles gemmParallelFlops (2·80³ ≈ 1.02M)
+		{81, 79, 83},  // odd straddler
+		{96, 128, 96}, // above the threshold
+		{1, 300, 257}, // k longer than gemmKC, sliver output
+		{257, 300, 1}, // single-column output
 	}
 }
 
@@ -52,6 +52,41 @@ func TestMatMulNTMatchesNaiveBitwise(t *testing.T) {
 				t.Fatalf("MatMulNT diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
 			}
 		})
+	}
+}
+
+// TestMatMulNTPackedMatchesNaiveBitwise forces the packed NT path (transpose
+// panel + NN microkernels) at EVERY shape, not just the sizes where
+// NTPackProfitable would select it, and demands bitwise agreement with the
+// naive dot-product reference — the property that lets MatMulNT switch
+// kernels on a size threshold without perturbing a single bit.
+func TestMatMulNTPackedMatchesNaiveBitwise(t *testing.T) {
+	for _, s := range gemmShapes() {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			rng := NewRNG(uint64(s.m*313 + s.k*31 + s.n))
+			a := RandomMatrix(s.m, s.k, rng)
+			b := RandomMatrix(s.n, s.k, rng) // C = A·Bᵀ is m×n
+			want := New(s.m, s.n)
+			matMulNTNaive(want, a, b)
+			got := RandomMatrix(s.m, s.n, rng) // stale contents must be overwritten
+			MatMulNTIntoPacked(got, a, b, New(s.k, s.n))
+			if !got.Equal(want) {
+				t.Fatalf("packed NT diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+	// Special values survive the packed path: 0·NaN must stay NaN.
+	a := FromRows([][]float64{{0, 1}, {2, 0}})
+	b := FromRows([][]float64{{1, 3}, {2, 4}}) // bᵀ = {{1,2},{3,4}}
+	b.Set(0, 0, math.NaN())
+	want := New(2, 2)
+	matMulNTNaive(want, a, b)
+	got := New(2, 2)
+	MatMulNTIntoPacked(got, a, b, New(2, 2))
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("element %d: packed %v vs naive %v", i, got.Data[i], want.Data[i])
+		}
 	}
 }
 

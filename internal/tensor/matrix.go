@@ -28,6 +28,17 @@ import (
 type Matrix struct {
 	Rows, Cols int
 	Data       []float64
+
+	// Workspace bookkeeping, intrusive so the pool's hot path needs no map
+	// of checked-out buffers: ws is the pool this matrix is currently
+	// checked out of (nil otherwise), wsIdx its slot in that pool's
+	// checked-out list, bucket its home free list, and borrows the number
+	// of in-flight nonblocking collectives currently reading or writing it
+	// (see Workspace.Borrow).
+	ws      *Workspace
+	wsIdx   int32
+	borrows int32
+	bucket  *wsBucket
 }
 
 // New returns a zero-initialised Rows×Cols matrix.

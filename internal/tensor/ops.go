@@ -43,7 +43,9 @@ func MatMulInto(c, a, b *Matrix) {
 	matMulAccum(c, a, b)
 }
 
-// MatMulNT returns C = A·Bᵀ.
+// MatMulNT returns C = A·Bᵀ. Large products take the packed path (transpose
+// B once, then run the vectorised NN microkernels); the result is bitwise
+// identical either way.
 func MatMulNT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulNT %dx%d by %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -52,7 +54,11 @@ func MatMulNT(a, b *Matrix) *Matrix {
 		return NewPhantom(a.Rows, b.Rows)
 	}
 	c := New(a.Rows, b.Rows)
-	matMulNTKernel(c, a, b)
+	if NTPackProfitable(a.Rows, b.Rows, a.Cols) {
+		matMulNTPacked(c, a, b, New(a.Cols, b.Rows))
+	} else {
+		matMulNTKernel(c, a, b)
+	}
 	return c
 }
 
@@ -79,6 +85,24 @@ func MatMulNTInto(c, a, b *Matrix) {
 		return
 	}
 	matMulNTKernel(c, a, b)
+}
+
+// MatMulNTIntoPacked computes C = A·Bᵀ like MatMulNTInto but through the
+// packed kernel, using the caller-supplied [A.Cols, B.Rows] scratch panel —
+// the allocation-free way onto the fast NT path (compute.MatMulNTInto draws
+// the panel from the worker's workspace when NTPackProfitable says the
+// transpose pays for itself). Bitwise identical to MatMulNTInto.
+func MatMulNTIntoPacked(c, a, b, pack *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNTIntoPacked %dx%d = %dx%d * %dx%dᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if pack.Rows != a.Cols || pack.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNTIntoPacked pack %dx%d, want %dx%d", pack.Rows, pack.Cols, a.Cols, b.Rows))
+	}
+	if phantomAny(c, a, b) {
+		return
+	}
+	matMulNTPacked(c, a, b, pack)
 }
 
 // MatMulTNInto computes C += Aᵀ·B into an existing matrix (A.Cols×B.Cols).

@@ -37,12 +37,20 @@ import "fmt"
 // after an evaluation forward whose outputs have been consumed — never
 // between a forward and its backward.
 //
-// # Collective boundaries
+// # Collective boundaries and borrows
 //
-// The dist collectives complete all cross-worker reads before any member
-// returns, so a buffer used as a collective source or destination is again
-// exclusively owned the moment the call returns: it may be reused, Put, or
-// sent again immediately. Snapshot-free *Into collectives rely on this.
+// The blocking dist collectives complete all cross-worker reads before any
+// member returns, so a buffer used as a blocking collective's source or
+// destination is again exclusively owned the moment the call returns: it may
+// be reused, Put, or sent again immediately. Snapshot-free *Into collectives
+// rely on this.
+//
+// The nonblocking collectives (dist's IBroadcastInto family) borrow their
+// payload and destination between issue and Wait: the runtime marks the
+// buffers via Borrow at issue and releases them when Wait returns. A
+// borrowed buffer must not be Put and must not reach ReleaseAll — both
+// panic, because an in-flight collective may still read or write the
+// storage. Drain every handle before the step boundary.
 //
 // # Phantoms
 //
@@ -51,17 +59,32 @@ import "fmt"
 // can never satisfy a real request or vice versa). Zeroing is skipped and
 // Put/ReleaseAll recycle the headers, keeping paper-scale phantom runs
 // allocation-free too.
+//
+// # Implementation note
+//
+// Checkout state lives intrusively on the Matrix itself (owning pool, slot
+// in the checked-out list, home free list, borrow count), so Get, Put and
+// ReleaseAll touch no hash map except the one shape lookup a Get performs —
+// the checked-out set that used to be a map is a plain slice with O(1)
+// swap-removal.
 type Workspace struct {
-	free map[wsKey][]*Matrix
-	out  map[*Matrix]struct{}
+	free map[wsKey]*wsBucket
+	out  []*Matrix
 
-	pooling bool
-	stats   WorkspaceStats
+	pooling  bool
+	borrowed int
+	stats    WorkspaceStats
 }
 
 type wsKey struct {
 	rows, cols int
 	phantom    bool
+}
+
+// wsBucket is one per-shape free list. Matrices remember their bucket, so
+// Put and ReleaseAll recycle without a map lookup.
+type wsBucket struct {
+	items []*Matrix
 }
 
 // WorkspaceStats is a point-in-time snapshot of pool behaviour.
@@ -81,8 +104,7 @@ type WorkspaceStats struct {
 // NewWorkspace returns an empty pool with pooling enabled.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		free:    make(map[wsKey][]*Matrix),
-		out:     make(map[*Matrix]struct{}),
+		free:    make(map[wsKey]*wsBucket),
 		pooling: true,
 	}
 }
@@ -128,11 +150,16 @@ func (ws *Workspace) GetUninitMatch(rows, cols int, phantom bool) *Matrix {
 func (ws *Workspace) get(k wsKey) *Matrix {
 	checkDims(k.rows, k.cols)
 	ws.stats.Gets++
+	bucket := ws.free[k]
+	if bucket == nil {
+		bucket = &wsBucket{}
+		ws.free[k] = bucket
+	}
 	var m *Matrix
-	if list := ws.free[k]; ws.pooling && len(list) > 0 {
-		m = list[len(list)-1]
-		list[len(list)-1] = nil
-		ws.free[k] = list[:len(list)-1]
+	if n := len(bucket.items); ws.pooling && n > 0 {
+		m = bucket.items[n-1]
+		bucket.items[n-1] = nil
+		bucket.items = bucket.items[:n-1]
 	} else {
 		ws.stats.Allocs++
 		if k.phantom {
@@ -140,9 +167,12 @@ func (ws *Workspace) get(k wsKey) *Matrix {
 		} else {
 			m = New(k.rows, k.cols)
 		}
+		m.bucket = bucket
 	}
 	if ws.pooling {
-		ws.out[m] = struct{}{}
+		m.ws = ws
+		m.wsIdx = int32(len(ws.out))
+		ws.out = append(ws.out, m)
 		ws.stats.Live++
 		if ws.stats.Live > ws.stats.HighWater {
 			ws.stats.HighWater = ws.stats.Live
@@ -154,7 +184,9 @@ func (ws *Workspace) get(k wsKey) *Matrix {
 // Put returns checked-out buffers to their free lists. It panics on a matrix
 // this workspace does not consider checked out (double Put, never pooled, or
 // already swept by ReleaseAll) — each of those is an aliasing bug waiting to
-// hand one buffer to two holders. No-op when pooling is disabled.
+// hand one buffer to two holders — and on a matrix still borrowed by an
+// in-flight nonblocking collective (Put before Wait). No-op when pooling is
+// disabled.
 func (ws *Workspace) Put(ms ...*Matrix) {
 	if !ws.pooling {
 		return
@@ -163,26 +195,74 @@ func (ws *Workspace) Put(ms ...*Matrix) {
 		if m == nil {
 			continue
 		}
-		if _, ok := ws.out[m]; !ok {
+		if m.ws != ws {
 			panic(fmt.Sprintf("tensor: workspace Put of a %dx%d matrix that is not checked out", m.Rows, m.Cols))
 		}
-		delete(ws.out, m)
-		ws.stats.Live--
-		k := wsKey{m.Rows, m.Cols, m.Data == nil}
-		ws.free[k] = append(ws.free[k], m)
+		if m.borrows != 0 {
+			panic(fmt.Sprintf("tensor: workspace Put of a %dx%d matrix still borrowed by %d in-flight collective(s) — Wait the handle first", m.Rows, m.Cols, m.borrows))
+		}
+		ws.remove(m)
+		m.bucket.items = append(m.bucket.items, m)
 	}
 }
 
+// remove unlinks m from the checked-out list in O(1) by swapping the tail
+// into its slot.
+func (ws *Workspace) remove(m *Matrix) {
+	last := len(ws.out) - 1
+	if i := int(m.wsIdx); i != last {
+		moved := ws.out[last]
+		ws.out[i] = moved
+		moved.wsIdx = int32(i)
+	}
+	ws.out[last] = nil
+	ws.out = ws.out[:last]
+	m.ws = nil
+	ws.stats.Live--
+}
+
 // ReleaseAll returns every checked-out buffer to the free lists — the step
-// boundary. See the ownership rules in the type comment for when it is safe.
+// boundary. It panics if any buffer is still borrowed by an in-flight
+// nonblocking collective: a handle crossing a step boundary is a bug. See
+// the ownership rules in the type comment for when ReleaseAll is safe.
 func (ws *Workspace) ReleaseAll() {
 	if !ws.pooling {
 		return
 	}
-	for m := range ws.out {
-		delete(ws.out, m)
-		k := wsKey{m.Rows, m.Cols, m.Data == nil}
-		ws.free[k] = append(ws.free[k], m)
+	if ws.borrowed != 0 {
+		panic(fmt.Sprintf("tensor: workspace ReleaseAll with %d buffer(s) still borrowed by in-flight collectives — Wait every handle before the step boundary", ws.borrowed))
 	}
+	for i, m := range ws.out {
+		m.ws = nil
+		m.bucket.items = append(m.bucket.items, m)
+		ws.out[i] = nil
+	}
+	ws.out = ws.out[:0]
 	ws.stats.Live = 0
+}
+
+// Borrow marks a checked-out buffer as lent to an in-flight nonblocking
+// collective: until the matching Release, Put panics on it and ReleaseAll
+// refuses to run. Matrices that are not checked out of this workspace
+// (parameters, plain allocations, pooling disabled) are ignored — the
+// borrow discipline protects pooled storage only. Borrows nest: a buffer
+// lent as both payload and destination of one collective is borrowed twice.
+func (ws *Workspace) Borrow(m *Matrix) {
+	if m == nil || m.ws != ws {
+		return
+	}
+	m.borrows++
+	ws.borrowed++
+}
+
+// Release undoes one Borrow.
+func (ws *Workspace) Release(m *Matrix) {
+	if m == nil || m.ws != ws {
+		return
+	}
+	if m.borrows == 0 {
+		panic(fmt.Sprintf("tensor: workspace Release of a %dx%d matrix that is not borrowed", m.Rows, m.Cols))
+	}
+	m.borrows--
+	ws.borrowed--
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/nn"
+	"repro/internal/summa"
 	"repro/internal/tensor"
 )
 
@@ -111,10 +112,17 @@ func (l *Linear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	return y
 }
 
-// Backward accumulates dW (and dB) and returns the local input-gradient
+// Backward computes dW (and dB) and returns the local input-gradient
 // block, a workspace buffer owned by the caller. The incoming dy is only
 // read — gradient buffers, unlike activations, are never retained, so the
 // caller may recycle dy as soon as Backward returns.
+//
+// Parameter-gradient synchronisation is asynchronous: the §3.1 depth
+// all-reduces of dW and dB are queued on the Proc (QueueGradSync) and run
+// while the backward pass continues into earlier layers. On meshes with
+// d > 1 the gradients land in l.W.Grad/l.B.Grad only once
+// Proc.DrainGradients has been called — trainers drain after the full
+// backward pass, before the optimiser step.
 func (l *Linear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
 	ws := p.W.Workspace()
 	var dyScratch *tensor.Matrix
@@ -124,18 +132,14 @@ func (l *Linear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
 		compute.MulTo(p.W, g, dy, g)
 		dy, dyScratch = g, g
 	}
-	gw := p.MatMulATB(l.x, dy)
-	l.W.AccumGrad(gw)
-	ws.Put(gw)
+	p.QueueGradSync(l.W, summa.MulATB(p.Proc, l.x, dy))
 	if l.hasBias {
 		db := ws.GetUninitMatch(1, dy.Cols, dy.Phantom())
 		compute.ColSumsInto(p.W, db, dy)
 		if p.I == 0 {
 			r := ws.GetUninitMatch(1, dy.Cols, dy.Phantom())
 			p.Col.ReduceInto(p.W, p.ColRank(0), db, r)
-			p.Depth.AllReduceInto(p.W, r, r)
-			l.B.AccumGrad(r)
-			ws.Put(r)
+			p.QueueGradSync(l.B, r)
 		} else {
 			p.Col.ReduceInto(p.W, p.ColRank(0), db, nil)
 		}

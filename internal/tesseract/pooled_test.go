@@ -52,6 +52,7 @@ func runBlockSteps(t *testing.T, q, d, steps int, pooling bool) [][]blockStepSna
 			}
 			out := b.Forward(p, p.DistributeA(xs[i]))
 			dx := b.Backward(p, p.DistributeA(dys[i]))
+			p.DrainGradients()
 			s := blockStepSnapshot{out: out.Clone(), dx: dx.Clone()}
 			for _, pa := range params {
 				s.grads = append(s.grads, pa.Grad.Clone())
@@ -118,6 +119,7 @@ func TestPooledBlockWorkspaceIsLeakFree(t *testing.T) {
 			}
 			b.Forward(p, p.DistributeA(x))
 			b.Backward(p, p.DistributeA(dy))
+			p.DrainGradients()
 			w.Workspace().ReleaseAll()
 			s := w.Workspace().Stats()
 			if i == 0 {

@@ -104,6 +104,7 @@ func TestQuickDepthReplicaInvariant(t *testing.T) {
 			l := NewLinear(p, 8, 8, 0, true, tensor.NewRNG(seed^0xabc))
 			l.Forward(p, p.DistributeA(x))
 			l.Backward(p, p.DistributeA(dy))
+			p.DrainGradients() // gradients are final only after the queued depth sync
 			grads.Put(w.Rank(), l.W.Grad)
 			return nil
 		})

@@ -20,14 +20,65 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/mesh"
+	"repro/internal/nn"
 	"repro/internal/summa"
 	"repro/internal/tensor"
 )
 
 // Proc is one processor's view of a Tesseract mesh. It embeds the mesh
-// bookkeeping (coordinates and communicator groups).
+// bookkeeping (coordinates and communicator groups) and carries the
+// processor's queue of in-flight gradient synchronisations.
 type Proc struct {
 	*mesh.Proc
+
+	// pending holds the depth all-reduces launched by the layers' Backward
+	// passes (DDP-style bucketing: one nonblocking all-reduce per parameter
+	// shard, issued the moment the shard's gradient is ready) until
+	// DrainGradients waits them and folds the results into the parameters.
+	pending []pendingGrad
+}
+
+// pendingGrad is one queued gradient synchronisation: wait h, accumulate
+// buf into param.Grad, recycle buf.
+type pendingGrad struct {
+	param *nn.Param
+	buf   *tensor.Matrix
+	h     dist.Handle
+}
+
+// QueueGradSync launches the §3.1 depth all-reduce for one parameter
+// shard's freshly computed layer-partial gradient without blocking: the
+// reduction runs while the backward pass continues into earlier layers, and
+// DrainGradients later folds the finished sum into param.Grad and recycles
+// buf (a workspace buffer whose ownership transfers to the queue). On a
+// depth-1 mesh the sum is the partial itself, so the gradient is folded in
+// immediately — callers never need to special-case d = 1, but they must
+// call DrainGradients before reading gradients on deeper meshes.
+func (p *Proc) QueueGradSync(param *nn.Param, buf *tensor.Matrix) {
+	if p.Depth.Size() == 1 {
+		param.AccumGrad(buf)
+		p.W.Workspace().Put(buf)
+		return
+	}
+	h := p.Depth.IAllReduceInto(p.W, buf, buf)
+	p.pending = append(p.pending, pendingGrad{param: param, buf: buf, h: h})
+}
+
+// DrainGradients completes every queued gradient synchronisation, in issue
+// order: each handle is waited, the reduced gradient accumulated into its
+// parameter, and the buffer recycled. Call it after the backward pass and
+// before the optimiser reads gradients (or before EndStep). It is
+// idempotent and cheap when nothing is pending.
+func (p *Proc) DrainGradients() {
+	ws := p.W.Workspace()
+	for i := range p.pending {
+		pg := &p.pending[i]
+		pg.h.Wait()
+		pg.param.AccumGrad(pg.buf)
+		ws.Put(pg.buf)
+		pg.param, pg.buf = nil, nil
+	}
+	p.pending = p.pending[:0]
 }
 
 // NewProc attaches the calling worker to a [q, q, d] mesh based at rank 0.

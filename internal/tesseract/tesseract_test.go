@@ -78,6 +78,7 @@ func TestLinearForwardBackwardMatchesSerial(t *testing.T) {
 				l := NewLinear(p, in, out, nn.ActGELU, true, tensor.NewRNG(42))
 				y := l.Forward(p, p.DistributeA(x))
 				dx := l.Backward(p, p.DistributeA(dy))
+				p.DrainGradients() // gradients are final only after the queued depth sync completes
 				ys.Put(p.W.Rank(), p.CollectA(y))
 				dxs.Put(p.W.Rank(), p.CollectA(dx))
 				gws.Put(p.W.Rank(), p.CollectB(l.W.Grad))
@@ -179,6 +180,7 @@ func TestAttentionMatchesSerial(t *testing.T) {
 				a := NewAttention(p, h, heads, seqLen, tensor.NewRNG(77))
 				y := a.Forward(p, p.DistributeA(x))
 				dx := a.Backward(p, p.DistributeA(dy))
+				p.DrainGradients()
 				ys.Put(p.W.Rank(), p.CollectA(y))
 				dxs.Put(p.W.Rank(), p.CollectA(dx))
 				return nil
@@ -207,6 +209,7 @@ func TestMLPMatchesSerial(t *testing.T) {
 				m := NewMLP(p, h, tensor.NewRNG(88))
 				y := m.Forward(p, p.DistributeA(x))
 				dx := m.Backward(p, p.DistributeA(dy))
+				p.DrainGradients()
 				ys.Put(p.W.Rank(), p.CollectA(y))
 				dxs.Put(p.W.Rank(), p.CollectA(dx))
 				return nil
@@ -235,6 +238,7 @@ func TestBlockMatchesSerial(t *testing.T) {
 				b := NewBlock(p, h, heads, seqLen, tensor.NewRNG(99))
 				y := b.Forward(p, p.DistributeA(x))
 				dx := b.Backward(p, p.DistributeA(dy))
+				p.DrainGradients()
 				ys.Put(p.W.Rank(), p.CollectA(y))
 				dxs.Put(p.W.Rank(), p.CollectA(dx))
 				return nil
@@ -287,6 +291,7 @@ func TestTrainingStepsStayInSyncWithSerial(t *testing.T) {
 				pa.ZeroGrad()
 			}
 			b.Backward(p, p.DistributeA(dyFull))
+			p.DrainGradients()
 			opt.Step(b.Params())
 			if i == 0 && loss != wantLosses[0] {
 				// Loss is computed from the collected output; allow fp
@@ -329,6 +334,7 @@ func TestBlockPhantomMatchesRealClock(t *testing.T) {
 			}
 			y := b.Forward(p, x)
 			b.Backward(p, y)
+			p.DrainGradients()
 			return nil
 		}); err != nil {
 			t.Fatal(err)

@@ -107,3 +107,8 @@ func (sb *StepBencher) WorkspaceStats() ([]tensor.WorkspaceStats, error) {
 
 // Model returns rank r's model, letting tests inspect parameter values.
 func (sb *StepBencher) Model(r int) *DistModel { return sb.models[r] }
+
+// Overlap reports the cluster's hidden and total simulated communication
+// seconds accumulated over the steps run so far — the overlap-frac metric
+// the step benchmark publishes (hidden/total).
+func (sb *StepBencher) Overlap() (hidden, total float64) { return sb.c.Overlap() }

@@ -68,16 +68,17 @@ func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix 
 	p.W.Compute(float64(h.Size()))
 	pooledLocal := ws.GetUninit(h.Rows/s, h.Cols)
 	meanPoolInto(pooledLocal, h, s)
-	// Gather the pooled features: columns along the grid row, sequence
-	// blocks along the slab — afterwards every processor holds the full
-	// [b, hidden] matrix, identically.
-	rowParts := p.Row.AllGather(p.W, pooledLocal)
-	wide := ws.GetUninit(rowParts[0].Rows, len(rowParts)*rowParts[0].Cols)
-	hcatInto(wide, rowParts)
-	ws.Put(pooledLocal) // single-member gathers share the buffer itself, so release only after the copy
-	slabParts := p.Slab.AllGather(p.W, wide)
-	m.pooled = ws.GetUninit(len(slabParts)*slabParts[0].Rows, slabParts[0].Cols)
-	vcatInto(m.pooled, slabParts)
+	// Gather the pooled features straight into packed destinations: hidden
+	// columns along the grid row, sequence blocks along the slab —
+	// afterwards every processor holds the full [b, hidden] matrix,
+	// identically. AllGatherInto reads every member's block before
+	// returning (no snapshots, no gathered-slice allocation), so the
+	// sources recycle immediately.
+	wide := ws.GetUninit(pooledLocal.Rows, p.Row.Size()*pooledLocal.Cols)
+	p.Row.AllGatherInto(p.W, pooledLocal, wide)
+	ws.Put(pooledLocal)
+	m.pooled = ws.GetUninit(p.Slab.Size()*wide.Rows, wide.Cols)
+	p.Slab.AllGatherInto(p.W, wide, m.pooled)
 	ws.Put(wide)
 	m.batch = m.pooled.Rows
 	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
@@ -109,6 +110,9 @@ func (m *DistModel) Backward(p *tesseract.Proc, dlogits *tensor.Matrix) {
 	}
 	dx := m.Embed.Backward(p, dh)
 	ws.Put(dh, dx)
+	// Complete the depth all-reduces the layers queued: after this every
+	// parameter gradient is final and the optimiser may step.
+	p.DrainGradients()
 }
 
 // addPositionalLocal adds the local slice of the fixed positional encoding:
@@ -129,24 +133,6 @@ func (m *DistModel) addPositionalLocal(p *tesseract.Proc, h *tensor.Matrix) *ten
 		}
 	}
 	return out
-}
-
-// hcatInto packs equal-shaped parts left to right into dst.
-func hcatInto(dst *tensor.Matrix, parts []*tensor.Matrix) {
-	off := 0
-	for _, p := range parts {
-		dst.SetSubMatrix(0, off, p)
-		off += p.Cols
-	}
-}
-
-// vcatInto packs equal-shaped parts top to bottom into dst.
-func vcatInto(dst *tensor.Matrix, parts []*tensor.Matrix) {
-	off := 0
-	for _, p := range parts {
-		dst.SetSubMatrix(off, 0, p)
-		off += p.Rows
-	}
 }
 
 // DistributeBatch slices a global token matrix [b·s, patchDim] into this

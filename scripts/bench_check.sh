@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Regression gate for the training-step hot path: compares
+# BenchmarkTesseractStep ns/op between a freshly generated bench JSON and a
+# committed baseline, failing when the new number regresses by more than
+# the allowed fraction (default 10%). Wall-clock benchmarks on shared CI
+# runners are noisy, so the tolerance is deliberately generous — the gate
+# exists to catch step-function regressions (a lost overlap path, an
+# accidental allocation storm), not single-digit jitter.
+#
+# Usage: scripts/bench_check.sh NEW.json BASELINE.json [max_regression_frac]
+set -eu
+
+new="$1"
+base="$2"
+frac="${3:-0.10}"
+
+ns_of() {
+    awk -v name="BenchmarkTesseractStep" '
+        $0 ~ "\"name\": \"" name "\"" {
+            if (match($0, /"ns_per_op": [0-9.eE+-]+/)) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: /, "", v)
+                print v
+                exit
+            }
+        }' "$1"
+}
+
+new_ns="$(ns_of "$new")"
+base_ns="$(ns_of "$base")"
+if [ -z "$new_ns" ] || [ -z "$base_ns" ]; then
+    echo "bench_check: BenchmarkTesseractStep missing from $new or $base" >&2
+    exit 1
+fi
+
+awk -v new="$new_ns" -v base="$base_ns" -v frac="$frac" 'BEGIN {
+    limit = base * (1 + frac)
+    printf "BenchmarkTesseractStep: %.0f ns/op vs baseline %.0f ns/op (limit %.0f)\n", new, base, limit
+    if (new > limit) {
+        printf "bench_check: step time regressed by %.1f%% (> %.0f%% allowed)\n", (new/base - 1) * 100, frac * 100
+        exit 1
+    }
+    printf "bench_check: OK (%+.1f%% vs baseline)\n", (new/base - 1) * 100
+}'

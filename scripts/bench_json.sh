@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR2.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR3.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -15,9 +15,10 @@ trap 'rm -f "$tmp"' EXIT
 # sensitive to a benchmark failure.
 go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 
-# BenchmarkTesseractStep is the PR 2 allocation acceptance metric: re-run it
-# at 50 steps so allocs/step and ns/step are steady-state numbers, not a
-# single cold iteration. The awk below keeps one row per benchmark with the
+# BenchmarkTesseractStep carries the PR 2 allocation metric and the PR 3
+# overlap + latency metrics: re-run it at 50 steps so allocs/step, ns/step
+# and overlap_frac (comm seconds hidden behind compute / total comm
+# seconds) are steady-state numbers, not a single cold iteration. The awk below keeps one row per benchmark with the
 # last line winning, so this pass overrides the smoke row.
 go test -run '^$' -bench 'TesseractStep' -benchtime 50x -benchmem . >> "$tmp"
 cat "$tmp"
@@ -37,7 +38,7 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 2; i <= NF; i++) {
         unit = $(i)
-        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s)$/) {
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac)$/) {
             gsub(/[^A-Za-z0-9]/, "_", unit)
             extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
         }
