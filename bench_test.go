@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/plan"
 	"repro/internal/tables"
 	"repro/internal/tensor"
 	"repro/internal/tesseract"
@@ -161,6 +162,28 @@ func BenchmarkClaimMemory(b *testing.B) {
 		pts = tables.MemoryStudy(4096, 4096, 4096)
 	}
 	b.ReportMetric(pts[0].FormulaElems, "tess-221-elems")
+}
+
+// BenchmarkPlannerValidate runs the auto-parallelism planner study — both
+// headline 64-GPU problems searched across all three families, top three
+// candidates replayed on the simulated cluster — and reports the worst
+// predicted-vs-measured step-time error as planner-top3-err (the PR 4
+// acceptance metric; the gate is 0.25).
+func BenchmarkPlannerValidate(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		points, err := tables.PlannerStudy(tables.PlannerScenarios(), 3, tables.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = 0
+		for _, pt := range points {
+			if e := plan.MaxStepErr(pt.Validations); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	b.ReportMetric(maxErr, "planner-top3-err")
 }
 
 // BenchmarkAblationDepth sweeps the Tesseract depth at q = 4.

@@ -26,6 +26,7 @@ func main() {
 		memory     = flag.Bool("memory", false, "run the Eq. 7-10 memory study")
 		ablation   = flag.Bool("ablation", false, "run the depth ablation")
 		overlap    = flag.Bool("overlap", false, "run the communication-overlap study (predicted vs measured)")
+		planner    = flag.Bool("planner", false, "run the auto-parallelism planner study (best layouts from search, not hard-coded)")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -34,7 +35,7 @@ func main() {
 	flag.Parse()
 
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -82,6 +83,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(tables.FormatOverlap(points))
+	}
+	if all || *planner {
+		points, err := tables.PlannerStudy(tables.PlannerScenarios(), 3, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatPlannerStudy(points))
 	}
 }
 

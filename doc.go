@@ -6,7 +6,7 @@
 //
 // The implementation lives under internal/:
 //
-//   - internal/tensor     — dense float64 linear algebra (+ phantom mode)
+//   - internal/tensor     — dense float64 linear algebra, phantom mode, Workspace pool
 //   - internal/dist       — simulated multi-GPU cluster with an α–β cost model
 //   - internal/mesh       — [q, q, d] grid and communicator bookkeeping
 //   - internal/summa      — 2-D SUMMA kernels (AB, ABᵀ, AᵀB) shared by all schemes
@@ -15,97 +15,29 @@
 //   - internal/tesseract  — the paper's contribution: Tesseract matmul + layers
 //   - internal/megatron   — 1-D Megatron-LM baseline (§2.5)
 //   - internal/optimus    — 2-D Optimus baseline (§2.2)
+//   - internal/plan       — auto-parallelism planner over the [p, q, d] space
 //   - internal/nn         — serial reference layers, losses, optimisers
 //   - internal/vit        — the Figure 7 Vision Transformer experiment
 //   - internal/claims     — the paper's closed-form formulas (Eqs. 1-10, §3.1)
 //   - internal/tables     — harness regenerating Tables 1-2 and the studies
 //
-// # The dist runtime
-//
-// internal/dist simulates the cluster in-process: one goroutine per rank,
-// started by Cluster.Run, with MPI-style groups built from explicit rank
-// lists (w.Cluster().Group(ranks...)). Rank layout follows the mesh
-// convention rank = base + k·q² + i·q + j (layer-major), so a mesh row —
-// the group SUMMA broadcasts its A panels over — occupies consecutive
-// ranks, while columns and depth fibres stride across nodes. A group's
-// rank list is its canonical order: AllGather returns blocks in it, which
-// is what lets CollectA reassemble block rows h = i + k·q by walking the
-// slab group.
-//
-// Collectives (AllReduce, AllGather, Broadcast, Reduce, Barrier) move
-// pointers, not bytes. Reductions sum in the fixed association of a
-// binomial tree over the group's virtual positions (deterministic, so
-// parameter replicas stay bit-identical); broadcasts and gathers share
-// immutable snapshots. A failed or panicking worker aborts the whole
-// cluster: peers blocked mid-collective unwind and Run returns an error
-// naming the rank.
-//
-// # Nonblocking collectives and overlap
-//
-// The destination-passing collectives also come in nonblocking form
-// (IBroadcastInto, IReduceInto, IAllReduceInto): issue, compute, Wait.
-// Operations pair up across ranks in per-worker issue order, a matrix lent
-// to an in-flight collective is borrowed until Wait (the workspace panics
-// on Put or ReleaseAll while a borrow is outstanding), and results stay
-// bit-identical to the blocking forms. Simulated time charges
-// max(compute, comm) across the issue→Wait window instead of their sum,
-// with each communicator serialising its own operations like one pipeline
-// channel. On top of this the summa kernels run double-buffered (panel
-// t+1's broadcast and partial t−1's reduce in flight behind iteration t's
-// GEMM), tesseract.Linear queues its §3.1 depth all-reduces per layer and
-// drains them at optimiser time (tesseract.Proc.DrainGradients), and
-// hybrid overlaps its pipeline handoff with the data-parallel gradient
-// all-reduces. Cluster.Overlap measures the comm time hidden behind
-// compute; dist.CostModel.PipelinedSummaTime and dist.HiddenFraction are
-// the analytic counterparts the tables' overlap study compares against.
-//
-// # The workspace: zero-allocation training steps
-//
-// Every Worker owns a tensor.Workspace — a shape-keyed buffer pool with
-// explicit Get/Put and a step-boundary ReleaseAll — and the whole stack is
-// threaded through it: SUMMA reuses one receive panel and one partial
-// buffer across all q iterations, the collectives offer *Into variants
-// (BroadcastInto, ReduceInto, AllReduceInto) that land results in
-// caller-supplied destinations instead of cloning snapshots, the compute
-// package mirrors its operations with in-place *To/*Into forms, and the
-// Tesseract layers draw every activation and gradient from the pool.
-// Trainers call Workspace().ReleaseAll() after each optimiser step (see
-// internal/vit), after which a steady-state [2,2,2] ViT training step
-// performs ~59× fewer allocations than the allocating path while remaining
-// bitwise identical to it — the property internal/tesseract's pooled tests
-// assert across mesh shapes. Ownership and lifetime rules (who may Put,
-// what survives to the step boundary, how buffers cross collective
-// boundaries, phantom behaviour) are documented on tensor.Workspace.
-//
-// # Phantom mode and the cost model
-//
-// Every collective and compute charge is priced by dist.CostModel — α
-// per-message latency, separate per-byte β for intra-node (NVLink-class)
-// and inter-node (InfiniBand-class) links chosen by the slowest link a
-// group spans, and a FLOPS rate for the arithmetic. MeluxinaModel is the
-// preset for the paper's testbed (4×A100 nodes). Costs depend only on
-// shapes and topology, never on data or scheduling, so a run over phantom
-// (shape-only) tensors advances exactly the simulated clocks of the real
-// execution while doing no arithmetic and moving no bytes. internal/tables
-// exploits this: each Table 1/2 row runs the full communication schedule
-// at the paper's true sizes (hidden 2048-8192, 64 GPUs) in milliseconds of
-// wall time, resets the clocks between the forward and backward phases,
-// and reads the simulated seconds back off Cluster.MaxClock — that is how
-// the tables, the §1 transmission-count claim, and the depth ablation are
-// regenerated. The same layer code runs on real data at small sizes, where
-// the phantom/real clock equality is asserted by tests.
-//
-// # GEMM kernels
-//
-// internal/tensor's MatMul/MatMulNT/MatMulTN are cache-blocked and
-// vectorised (AVX2 on amd64, detected at run time) and split the output
-// rows across goroutines above a size threshold — while remaining bitwise
-// identical to the naive reference kernels at every size and band count,
-// because every output element accumulates in the same order with the
-// same individually-rounded operations. The naive kernels are kept in
-// naive.go as the correctness oracle and benchmark baseline.
+// Everything runs on the simulated cluster: one goroutine per rank,
+// collectives that move pointers instead of bytes, simulated clocks priced
+// by the α–β model, and shape-only (phantom) matrices that let a 64-GPU
+// table row execute its full communication schedule in milliseconds of
+// wall time. Nonblocking collectives overlap communication with compute
+// (clock = max, not sum), every buffer is pooled through per-worker
+// workspaces, and the SUMMA kernels run as double-buffered pipelines —
+// all held bit-identical to their blocking, allocating, serial reference
+// forms by property tests. The auto-parallelism planner (internal/plan)
+// searches layouts and algorithm families against the same cost model and
+// is validated by replay on the cluster.
 //
 // The benchmarks in bench_test.go regenerate every table and figure; the
-// binaries under cmd/ print them; the programs under examples/ show the API.
-// See README.md, DESIGN.md, and EXPERIMENTS.md.
+// binaries under cmd/ print them (tesseract-bench for the paper's tables,
+// tesseract-plan for the planner); the programs under examples/ show the
+// API. For the long-form subsystem walkthrough — the rendezvous-round
+// collective engine, the workspace ownership rules, the pipelined SUMMA
+// schedules, and a worked [2,2,2] step — see docs/architecture.md; for the
+// package map, quickstart and benchmark trajectory, see README.md.
 package repro

@@ -26,6 +26,19 @@ func TesseractTransfers(p float64) float64 {
 	return 2 * c * c
 }
 
+// TesseractTransfersGrid generalises the §3.1 count to an arbitrary
+// [q, q, d] arrangement: one SUMMA pass issues q broadcasts along grid rows
+// and q down grid columns (q−1 block transfers each), and the backward
+// weight gradient adds one depth all-reduce (2(d−1) transfers):
+// 2q(q−1) + 2(d−1). At d = q (so p = q³) the total is 2q² − 2, the
+// paper's 2p^{2/3} up to the constant −2, and the count is what makes
+// deeper meshes attractive — d enters only through the rare all-reduce
+// while the q² broadcast term shrinks. The auto-parallelism planner's
+// layout ranking follows this trend (see internal/plan).
+func TesseractTransfersGrid(q, d float64) float64 {
+	return 2*q*(q-1) + 2*(d-1)
+}
+
 // TransferRatios returns (Cannon/Tesseract, 2.5D/Tesseract) at p processors.
 // At p = 64 the paper reports 31.5 and 3.75.
 func TransferRatios(p float64) (cannon, solomonik float64) {

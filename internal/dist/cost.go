@@ -35,6 +35,14 @@ func MeluxinaModel() CostModel {
 	}
 }
 
+// WithDefaults validates the model and substitutes the Meluxina preset per
+// field — the exported form of the normalisation dist.New applies to
+// Config.Cost, so out-of-cluster consumers (the auto-parallelism planner,
+// analytic studies) price operations with exactly the model a cluster built
+// from the same config would charge. A zero field selects the preset;
+// negative or non-finite fields panic.
+func (m CostModel) WithDefaults() CostModel { return m.withDefaults() }
+
 // withDefaults validates the model and substitutes the Meluxina preset per
 // field, so dist.New(dist.Config{WorldSize: n}) charges sane times out of
 // the box and a caller who overrides only some fields (say, Alpha for a
@@ -97,15 +105,41 @@ func (m CostModel) PipelinedSummaTime(q int, commPerIter, computePerIter float64
 	return commPerIter + float64(q)*OverlapTime(commPerIter, computePerIter)
 }
 
+// linkBeta selects the per-byte rate the exported pricing helpers charge:
+// the inter-node link when the group spans nodes, the intra-node link
+// otherwise.
+func (m CostModel) linkBeta(interNode bool) float64 {
+	if interNode {
+		return m.BetaInter
+	}
+	return m.BetaIntra
+}
+
 // BroadcastSeconds prices a binomial-tree broadcast of b bytes among n
 // ranks (inter-node links when interNode is set) — the per-iteration comm
 // term analytic studies feed into PipelinedSummaTime and HiddenFraction.
 func (m CostModel) BroadcastSeconds(n int, b int64, interNode bool) float64 {
-	beta := m.BetaIntra
-	if interNode {
-		beta = m.BetaInter
-	}
-	return m.broadcastTime(n, b, beta)
+	return m.broadcastTime(n, b, m.linkBeta(interNode))
+}
+
+// ReduceSeconds prices a binomial-tree reduce of b bytes among n ranks —
+// identical to a broadcast of the same payload (the tree runs in reverse),
+// which is exactly how the simulated Group charges it.
+func (m CostModel) ReduceSeconds(n int, b int64, interNode bool) float64 {
+	return m.BroadcastSeconds(n, b, interNode)
+}
+
+// AllReduceSeconds prices a bandwidth-optimal ring all-reduce of b bytes
+// among n ranks: 2(n−1) steps each moving b/n bytes (reduce-scatter then
+// all-gather), matching the charge the simulated Group applies.
+func (m CostModel) AllReduceSeconds(n int, b int64, interNode bool) float64 {
+	return m.allReduceTime(n, b, m.linkBeta(interNode))
+}
+
+// AllGatherSeconds prices a ring all-gather among n ranks where every member
+// contributes b bytes: n−1 steps each forwarding one member block.
+func (m CostModel) AllGatherSeconds(n int, b int64, interNode bool) float64 {
+	return m.allGatherTime(n, b, m.linkBeta(interNode))
 }
 
 // GEMMSeconds prices the 2·m·n·k flops of an [mm×kk]·[kk×nn] multiply at

@@ -108,3 +108,77 @@ func TestOverlapEstimates(t *testing.T) {
 		t.Fatalf("GEMMSeconds = %g", got)
 	}
 }
+
+// TestTreeStepsAndSingletonGroups pins the tree-depth helper at the edges
+// the planner leans on: a singleton group communicates for free, and
+// non-power-of-two groups round the tree depth up.
+func TestTreeStepsAndSingletonGroups(t *testing.T) {
+	for n, want := range map[int]float64{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 7: 3, 8: 3, 9: 4, 64: 6} {
+		if got := treeSteps(n); got != want {
+			t.Errorf("treeSteps(%d) = %g, want %g", n, got, want)
+		}
+	}
+	m := MeluxinaModel()
+	const b = int64(1 << 20)
+	for _, inter := range []bool{false, true} {
+		if got := m.BroadcastSeconds(1, b, inter); got != 0 {
+			t.Errorf("broadcast over a singleton must be free, got %g", got)
+		}
+		if got := m.ReduceSeconds(1, b, inter); got != 0 {
+			t.Errorf("reduce over a singleton must be free, got %g", got)
+		}
+		if got := m.AllReduceSeconds(1, b, inter); got != 0 {
+			t.Errorf("all-reduce over a singleton must be free, got %g", got)
+		}
+		if got := m.AllGatherSeconds(1, b, inter); got != 0 {
+			t.Errorf("all-gather over a singleton must be free, got %g", got)
+		}
+	}
+	if got := m.barrierTime(1); got != 0 {
+		t.Errorf("barrier over a singleton must be free, got %g", got)
+	}
+}
+
+// TestNonPowerOfTwoGroupPricing spells out the charges for group sizes
+// that are not powers of two — the shapes a [3,3,d] or 5-rank Megatron
+// layout produces.
+func TestNonPowerOfTwoGroupPricing(t *testing.T) {
+	m := MeluxinaModel()
+	const b = int64(4096)
+	bf := float64(b)
+	if got, want := m.BroadcastSeconds(3, b, false), 2*(m.Alpha+bf*m.BetaIntra); got != want {
+		t.Errorf("broadcast over 3 = %g, want two tree steps %g", got, want)
+	}
+	if got, want := m.AllReduceSeconds(3, b, true), 2*2*(m.Alpha+bf/3*m.BetaInter); got != want {
+		t.Errorf("all-reduce over 3 = %g, want 2(n−1) ring steps %g", got, want)
+	}
+	if got, want := m.AllGatherSeconds(5, b, false), 4*(m.Alpha+bf*m.BetaIntra); got != want {
+		t.Errorf("all-gather over 5 = %g, want n−1 ring steps %g", got, want)
+	}
+	if got, want := m.ReduceSeconds(6, b, true), m.BroadcastSeconds(6, b, true); got != want {
+		t.Errorf("reduce %g must price like broadcast %g (reversed tree)", got, want)
+	}
+}
+
+// TestPipelinedSummaTimeMonotonicInQ: more SUMMA iterations can never be
+// predicted cheaper — the planner's ranking depends on this.
+func TestPipelinedSummaTimeMonotonicInQ(t *testing.T) {
+	m := MeluxinaModel()
+	for _, tc := range []struct{ comm, comp float64 }{
+		{1e-3, 2e-3}, // compute-bound
+		{2e-3, 1e-3}, // comm-bound
+		{1e-3, 1e-3}, // balanced
+		{0, 1e-3},    // free links
+		{1e-3, 0},    // free compute
+	} {
+		prev := m.PipelinedSummaTime(1, tc.comm, tc.comp)
+		for q := 2; q <= 16; q++ {
+			cur := m.PipelinedSummaTime(q, tc.comm, tc.comp)
+			if cur <= prev && (tc.comm > 0 || tc.comp > 0) {
+				t.Errorf("PipelinedSummaTime(comm=%g, comp=%g) not increasing at q=%d: %g then %g",
+					tc.comm, tc.comp, q, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}

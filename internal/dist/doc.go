@@ -3,123 +3,57 @@
 // groups with the collectives the paper's schedules need, and an analytic
 // α–β cost model that turns each operation into simulated seconds — so a
 // 64-GPU Table 1 row executes in milliseconds of wall time while reporting
-// the communication cost of the real schedule.
+// the communication cost of the real schedule. The full design discussion
+// lives in docs/architecture.md; this comment is the contract summary.
 //
 // # Runtime
 //
 // dist.New(dist.Config{WorldSize: n}) builds a Cluster of n Workers; Run
-// executes one function per rank, each on its own goroutine, and returns
-// once every rank finishes. A worker that returns an error or panics aborts
-// the whole cluster: peers blocked inside collectives unwind immediately
-// and Run reports an error naming the failed rank. An aborted cluster stays
-// aborted (further Runs fail fast); a fresh cluster is the documented
-// recovery. Clocks and traffic statistics persist across Runs so a harness
-// can build a model in one phase and time the next (ResetClocks starts a
-// new timing window).
+// executes one function per rank, each on its own goroutine. A worker that
+// errors or panics aborts the whole cluster (peers unwind, Run names the
+// rank; a fresh cluster is the recovery). Clocks and traffic statistics
+// persist across Runs; ResetClocks opens a new timing window.
 //
 // # Groups and collectives
 //
 // Workers build communicators with w.Cluster().Group(ranks...); the rank
-// list is the group's canonical order (AllGather returns blocks in exactly
-// this order, Index maps a cluster rank to its slot). Groups are cached per
-// rank list, so the q² processors of a mesh row share one object and its
-// channel plumbing.
-//
-// Collectives move pointers, not bytes: a Broadcast hands the root's matrix
-// to every member zero-copy (results are read-only by convention), an
-// AllGather shares each contributor's block in place. Reduce and AllReduce
-// sum in the fixed association of a binomial tree over the group's virtual
-// positions — deterministic regardless of scheduling, which keeps the d
-// depth replicas of a Tesseract parameter bit-identical. AllReduce hands
-// every member its own freshly-owned copy of the sum (callers may mutate
-// the result — the data-parallel gradient average does).
-//
-// Hot paths that would immediately copy or discard those snapshots use the
-// destination-passing variants instead: BroadcastInto copies the root's
-// payload into every member's own buffer while the operation is in flight
-// (no snapshot clone, and the root may mutate its payload the moment the
-// call returns), ReduceInto accumulates the tree-associated sum straight
-// into the root's accumulator, AllReduceInto lands each member's copy in a
-// caller-supplied destination that may alias its input — an in-place
-// all-reduce — and AllGatherInto packs every member's block into each
-// member's own concatenated destination (vertically or horizontally,
-// chosen by the destination's shape). All are bit-identical to their
-// cloning counterparts and charge the same simulated time; their contract
-// that every cross-member read completes before any member returns is what
-// lets SUMMA reuse its receive panels and partial buffers across
-// iterations (see tensor.Workspace for the ownership rules). Each Worker
-// carries a tensor.Workspace (Worker.Workspace) so those buffers are pooled
-// per rank without locking.
+// list is the group's canonical order, and groups are cached per list.
+// Collectives move pointers, not bytes; reductions sum in the fixed
+// association of a binomial tree over the group's virtual positions, so
+// results are deterministic and replicas stay bit-identical. Every
+// operation is a rendezvous round: members file arrivals without blocking
+// and the last arriver computes the whole outcome once. The
+// destination-passing variants (BroadcastInto, ReduceInto, AllReduceInto,
+// AllGatherInto) land results in caller-supplied buffers with the contract
+// that every cross-member read completes before any member returns — which
+// is what lets SUMMA reuse its panels (see tensor.Workspace for ownership
+// rules). Steady-state collectives allocate nothing.
 //
 // # Nonblocking collectives
 //
-// IBroadcastInto, IReduceInto and IAllReduceInto issue the same operations
-// without blocking and return a Handle; the caller computes, then calls
-// Wait. Three rules make the asynchrony safe and deterministic:
+// IBroadcastInto, IReduceInto and IAllReduceInto issue without blocking
+// and return a Handle: issue, compute, Wait (exactly once). Operations on
+// one group pair up in per-worker issue order (mismatches panic), buffers
+// lent to an in-flight operation are borrowed until Wait (the workspace
+// panics on Put or ReleaseAll while a borrow is outstanding), and results
+// are bit-identical to the blocking forms. Simulated time models the
+// overlap: Wait advances the clock to max(compute, comm) instead of their
+// sum, with each group serialising its own operations like one pipeline
+// channel. Cluster.Overlap reports the comm time hidden behind compute;
+// CostModel.PipelinedSummaTime and HiddenFraction are the analytic
+// counterparts.
 //
-//   - Ordering. A worker's operations on one group — blocking calls and
-//     nonblocking issues alike — pair up with its peers' strictly in
-//     per-worker issue order. All members must therefore issue the same
-//     sequence of collectives on a group, exactly as with the blocking
-//     API; the runtime panics on kind/root mismatches. Several operations
-//     of one group may be in flight at once (the double-buffered SUMMA
-//     keeps two), and operations on different groups interleave freely.
+// # Cost model and phantom mode
 //
-//   - Buffer ownership. Every matrix lent to an in-flight collective
-//     (payload and destination) is borrowed from issue until Wait returns:
-//     it must not be read, written or recycled in between. The workspace
-//     enforces the recycling half — Put of a borrowed buffer and
-//     ReleaseAll with any outstanding borrow panic, so a handle that
-//     crosses a step boundary is caught, not silently corrupted.
-//
-//   - Completion. The operation's data movement happens while the handle
-//     is in flight, performed by whichever member arrives last; results
-//     are a pure function of the inputs (sums in virtual-tree order), so
-//     they are bit-identical to the blocking forms no matter which member
-//     finishes or when Wait is called. Wait must be called exactly once —
-//     a second Wait panics.
-//
-// Simulated time models the overlap: a nonblocking operation's comm time
-// runs concurrently with the issuing worker's compute, so Wait advances the
-// clock to max(compute, comm) instead of their sum. Operations on one group
-// serialise behind each other (each communicator is one pipeline channel
-// over its links); Cluster.Overlap reports how much comm time the workers
-// hid behind compute, and CostModel.PipelinedSummaTime/HiddenFraction give
-// the matching analytic estimates.
-//
-// Every collective completes at a rendezvous where the finishing member
-// computes the outcome once — results, max(clock) + simulated op time, and
-// the statistics record. Rounds and their wake-up channels are recycled per
-// group, and handles are plain values, so a steady-state collective —
-// blocking or nonblocking — allocates nothing. Because the simulated cost
-// depends only on shapes and group topology — never on data or goroutine
-// scheduling — phantom-mode runs charge exactly the clock of the real
-// execution, and repeated runs are deterministic.
-//
-// # Cost model
-//
-// CostModel is an α–β machine model: FLOPS (per-GPU dense throughput),
-// Alpha (per-message latency), and separate per-byte costs for intra-node
-// (NVLink-class) and inter-node (InfiniBand-class) links. A group is priced
-// by the slowest link it spans: Config.GPUsPerNode (default 4) maps ranks
-// to nodes, so a Tesseract mesh row (consecutive ranks, one node) is an
-// order of magnitude cheaper than a column or depth fibre (node-strided).
-// MeluxinaModel is the preset for the paper's testbed. The per-op charges:
-//
-//	broadcast/reduce  ⌈log₂ n⌉ · (α + Bβ)      binomial tree
-//	allreduce         2(n−1) · (α + (B/n)β)    bandwidth-optimal ring
-//	allgather         (n−1) · (α + Bβ)         ring, B = per-member block
-//	barrier           ⌈log₂ n⌉ · α
-//	send/recv         α + Bβ                    sender pays; receiver joins
-//
-// Message statistics use the finer-grained pairwise convention documented
-// in internal/tables: broadcast/reduce over n ranks count n−1 block
-// transfers, an all-reduce 2(n−1), an all-gather n(n−1), a send 1.
-//
-// # Phantom mode
-//
-// Collectives propagate shape-only (phantom) matrices without touching
-// data: the tree still runs, the clocks still advance, the statistics still
-// count — which is exactly what lets internal/tables regenerate the paper's
-// tables at hidden sizes no laptop could materialise.
+// CostModel is an α–β machine model (FLOPS, per-message Alpha, separate
+// per-byte Betas for intra- and inter-node links); a group is priced by
+// the slowest link it spans, with Config.GPUsPerNode mapping ranks to
+// nodes. MeluxinaModel is the paper's testbed preset. The per-op charges
+// (binomial-tree broadcast/reduce, ring all-reduce/all-gather) are tabled
+// in docs/architecture.md, and the exported pricing helpers
+// (BroadcastSeconds, AllReduceSeconds, …) expose exactly the formulas the
+// runtime charges, which is what the auto-parallelism planner
+// (internal/plan) builds its predictions from. Costs depend only on shapes
+// and topology — never on data or scheduling — so phantom (shape-only)
+// runs advance exactly the clocks of the real execution.
 package dist

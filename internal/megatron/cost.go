@@ -1,0 +1,158 @@
+package megatron
+
+import (
+	"repro/internal/compute"
+	"repro/internal/dist"
+	"repro/internal/plan"
+)
+
+// PlanAlgo describes Megatron-LM to the auto-parallelism planner: [p]
+// layouts for every p that divides the head count, an analytic cost
+// mirroring the schedule Block.Forward/Backward run (two activation
+// all-reduces per layer per direction, everything else local on the fully
+// replicated activation), and the Eq. 9-style per-rank memory — the
+// replicated activations that make the family cheap to communicate and
+// expensive to hold.
+func PlanAlgo() plan.Algo {
+	return plan.Algo{
+		Family: "megatron",
+		Grids:  megatronGrids,
+		Cost:   megatronCost,
+		Memory: megatronMemory,
+	}
+}
+
+// megatronGrids enumerates [p] for every p ≤ budget dividing the head
+// count (heads % p == 0 implies every weight split the layers perform).
+func megatronGrids(w plan.Workload, budget int) []plan.Grid {
+	var out []plan.Grid
+	for p := 1; p <= budget && p <= w.Heads; p++ {
+		if w.Heads%p == 0 {
+			out = append(out, plan.Grid{Ranks: p})
+		}
+	}
+	return out
+}
+
+func mbytes(elems float64) int64 { return int64(plan.BytesPerElem * elems) }
+
+// megatronCoster accumulates one rank's compute and comm seconds across a
+// layer; the tensor-parallel group spans ranks [0, p), so it pays
+// inter-node rates as soon as p exceeds the node size.
+type megatronCoster struct {
+	m     dist.CostModel
+	p     int
+	inter bool
+	comp  float64
+	comm  float64
+}
+
+func (c *megatronCoster) flops(f float64)      { c.comp += f / c.m.FLOPS }
+func (c *megatronCoster) gemm(m, n, k float64) { c.comp += c.m.GEMMSeconds(m, n, k) }
+func (c *megatronCoster) allReduce(elems float64) {
+	c.comm += c.m.AllReduceSeconds(c.p, mbytes(elems), c.inter)
+}
+
+// forwardLayer prices one Block.Forward on the replicated activation of R
+// rows: QKV (column-parallel, local), local attention over heads/p heads,
+// the output projection's forward all-reduce, the MLP's fc1 (local, GELU)
+// and fc2 (all-reduce), with replicated layer norms and residual adds.
+func (c *megatronCoster) forwardLayer(R, h, hp, s, dh, hl float64) {
+	c.gemm(R, 3*hp, h) // QKV
+	c.flops(R * 3 * hp * compute.FlopsPerAdd)
+	c.flops(R / s * hl * (4*s*s*dh + compute.FlopsPerSoftmax*s*s))
+	c.gemm(R, h, hp) // projection partial
+	c.allReduce(R * h)
+	c.flops(R * h * compute.FlopsPerAdd) // projection bias
+	c.flops(R * h * compute.FlopsPerAdd) // residual
+	c.flops(R * h * (compute.FlopsPerNorm + 2))
+	c.gemm(R, 4*hp, h) // fc1
+	c.flops(R * 4 * hp * (compute.FlopsPerAdd + compute.FlopsPerGELU))
+	c.gemm(R, h, 4*hp) // fc2 partial
+	c.allReduce(R * h)
+	c.flops(R * h * compute.FlopsPerAdd)
+	c.flops(R * h * compute.FlopsPerAdd)
+	c.flops(R * h * (compute.FlopsPerNorm + 2))
+}
+
+// backwardLayer prices one Block.Backward: the row-parallel linears
+// propagate without communication, the column-parallel linears all-reduce
+// the replicated input gradient — again two all-reduces per layer.
+func (c *megatronCoster) backwardLayer(R, h, hp, s, dh, hl float64) {
+	c.flops(R * h * (compute.FlopsPerNorm + 2)) // ln2
+	// fc2 (row-parallel): dW, bias sums, local dx.
+	c.gemm(4*hp, h, R)
+	c.flops(R * h * compute.FlopsPerAdd)
+	c.gemm(R, 4*hp, h)
+	// fc1 (column-parallel): GELU gradient, dW, bias sums, dx all-reduce.
+	c.flops(R * 4 * hp * (compute.FlopsPerGELU + compute.FlopsPerAdd))
+	c.gemm(h, 4*hp, R)
+	c.flops(R * 4 * hp * compute.FlopsPerAdd)
+	c.gemm(R, h, 4*hp)
+	c.allReduce(R * h)
+	c.flops(R * h * compute.FlopsPerAdd) // residual
+	c.flops(R * h * (compute.FlopsPerNorm + 2))
+	// Projection (row-parallel).
+	c.gemm(hp, h, R)
+	c.flops(R * h * compute.FlopsPerAdd)
+	c.gemm(R, hp, h)
+	c.flops(R / s * hl * (8*s*s*dh + compute.FlopsPerSoftmax*s*s))
+	// QKV (column-parallel).
+	c.gemm(h, 3*hp, R)
+	c.flops(R * 3 * hp * compute.FlopsPerAdd)
+	c.gemm(R, h, 3*hp)
+	c.allReduce(R * h)
+	c.flops(R * h * compute.FlopsPerAdd)
+}
+
+// megatronCost prices a workload on one [p] layout.
+func megatronCost(w plan.Workload, g plan.Grid, t plan.Topology) plan.Breakdown {
+	p := g.Ranks
+	R := float64(w.Tokens())
+	h := float64(w.Hidden)
+	hp := h / float64(p)
+	s := float64(w.SeqLen)
+	dh := h / float64(w.Heads)
+	hl := float64(w.Heads) / float64(p)
+	inter := t.SpansNodes(0, p-1)
+	L := float64(w.Layers)
+
+	fwd := &megatronCoster{m: t.Cost, p: p, inter: inter}
+	fwd.forwardLayer(R, h, hp, s, dh, hl)
+	bwd := &megatronCoster{m: t.Cost, p: p, inter: inter}
+	bwd.backwardLayer(R, h, hp, s, dh, hl)
+
+	fwdPhase := L * (fwd.comp + fwd.comm)
+	comp := L * (fwd.comp + bwd.comp)
+	backward := L * (bwd.comp + bwd.comm)
+	if !w.NoRecompute {
+		backward += fwdPhase
+		comp += L * fwd.comp
+	}
+	return plan.Breakdown{
+		Forward:        fwdPhase,
+		Backward:       backward,
+		ComputeSeconds: comp,
+		CommSeconds:    fwdPhase + backward - comp,
+	}
+}
+
+// megatronMemory estimates the bytes one rank holds across a training
+// step: the sharded parameters with gradients, and the activation set the
+// backward pass retains — four full-width replicated copies per layer plus
+// the sharded attention/MLP intermediates and softmax probabilities, which
+// is what Eq. 9 charges the family for.
+func megatronMemory(w plan.Workload, g plan.Grid) int64 {
+	p := float64(g.Ranks)
+	R := float64(w.Tokens())
+	h := float64(w.Hidden)
+	hp := h / p
+	s := float64(w.SeqLen)
+	hl := float64(w.Heads) / p
+	L := float64(w.Layers)
+	weights := 12*h*hp + 7*hp + 2*h // shards + column biases + replicated row biases
+	probs := float64(w.Batch) * hl * s * s
+	acts := R*(4*h+12*hp) + probs
+	io := 2 * R * h
+	return mbytes(L*(2*weights+acts) + io)
+}

@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatPlans renders a ranked plan list as the table cmd/tesseract-plan
+// prints: rank, family, shape, predicted forward/backward/step seconds,
+// the comm share of the step, and the per-rank memory estimate. n limits
+// the rows (0 = all).
+func FormatPlans(title string, plans []Plan, n int) string {
+	if n <= 0 || n > len(plans) {
+		n = len(plans)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %-12s %-9s %5s | %9s %9s %9s | %6s %10s\n",
+		"#", "family", "shape", "ranks", "fwd(s)", "bwd(s)", "step(s)", "comm%", "mem/rank")
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	for i, p := range plans[:n] {
+		pr := p.Predicted
+		commPct := 0.0
+		if s := pr.Step(); s > 0 {
+			commPct = 100 * pr.CommSeconds / s
+		}
+		fmt.Fprintf(&b, "%4d %-12s %-9s %5d | %9.4f %9.4f %9.4f | %5.1f%% %10s\n",
+			i+1, p.Family, p.Grid.Shape(), p.Grid.Ranks,
+			pr.Forward, pr.Backward, pr.Step(), commPct, FormatBytes(pr.MemoryBytes))
+	}
+	return b.String()
+}
+
+// FormatValidations renders a validation list: predicted vs measured step
+// time and the relative errors.
+func FormatValidations(title string, vs []Validation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %-12s %-9s | %9s %9s %7s | %7s %7s\n",
+		"#", "family", "shape", "pred(s)", "meas(s)", "err", "fwd-err", "bwd-err")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	for i, v := range vs {
+		fmt.Fprintf(&b, "%4d %-12s %-9s | %9.4f %9.4f %6.1f%% | %6.1f%% %6.1f%%\n",
+			i+1, v.Plan.Family, v.Plan.Grid.Shape(),
+			v.Plan.Predicted.Step(), v.Measured.Step(),
+			100*v.StepErr, 100*v.FwdErr, 100*v.BwdErr)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit (KiB/MiB/GiB),
+// the inverse of ParseBytes.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return trimZero(float64(b)/(1<<30)) + "GiB"
+	case b >= 1<<20:
+		return trimZero(float64(b)/(1<<20)) + "MiB"
+	case b >= 1<<10:
+		return trimZero(float64(b)/(1<<10)) + "KiB"
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func trimZero(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 1, 64)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// ParseBytes reads a human memory size ("4GiB", "512MiB", "2g", "1073741824")
+// into bytes. Units are binary; the bare suffixes k/m/g and KB/MB/GB are
+// accepted as aliases for their binary forms.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, fmt.Errorf("plan: cannot parse memory size %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("plan: cannot parse memory size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}

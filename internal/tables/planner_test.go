@@ -1,0 +1,82 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestPlannerStudyRediscoversPaperBest is the PR's acceptance gate: at a
+// 64-rank budget the planner must rank candidates from all three families,
+// put Tesseract [4,4,4] first on both headline problems (the layout the
+// paper's Tables 1 and 2 crown), and predict the replayed step times of
+// the top three candidates to within 25%.
+func TestPlannerStudyRediscoversPaperBest(t *testing.T) {
+	points, err := PlannerStudy(PlannerScenarios(), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("expected 2 scenarios, got %d", len(points))
+	}
+	for _, pt := range points {
+		fams := map[string]bool{}
+		for _, p := range pt.Plans {
+			fams[p.Family] = true
+		}
+		if len(fams) < 3 {
+			t.Errorf("%s: ranking covers %d families, want 3", pt.Scenario.Name, len(fams))
+		}
+		best := pt.Best()
+		if best.Family != "tesseract" || best.Grid.Shape() != pt.Scenario.PaperBest {
+			t.Errorf("%s: planner best = %s, paper best = Tesseract %s",
+				pt.Scenario.Name, best, pt.Scenario.PaperBest)
+		}
+		if len(pt.Validations) != 3 {
+			t.Errorf("%s: %d validations, want 3", pt.Scenario.Name, len(pt.Validations))
+		}
+		if maxErr := plan.MaxStepErr(pt.Validations); maxErr > 0.25 {
+			t.Errorf("%s: top-3 step error %.1f%% exceeds the 25%% acceptance bound",
+				pt.Scenario.Name, 100*maxErr)
+		}
+	}
+}
+
+// TestMeasurePlanMatchesRunRow pins the adapter: measuring a plan must be
+// exactly RunRow on the equivalent row, with the workload's sequence
+// length and recompute setting winning over the options'.
+func TestMeasurePlanMatchesRunRow(t *testing.T) {
+	w := plan.Workload{Batch: 8, Hidden: 16, Heads: 4, SeqLen: 4}
+	p := plan.Plan{Family: "tesseract", Grid: plan.Grid{Ranks: 8, Q: 2, D: 2}}
+	got, err := MeasurePlan(w, Options{SeqLen: 999})(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunRow(Row{Scheme: Tesseract, GPUs: 8, Q: 2, D: 2, Batch: 8, Hidden: 16, Heads: 4},
+		Options{SeqLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Forward != want.Forward || got.Backward != want.Backward {
+		t.Fatalf("MeasurePlan = %+v, RunRow = %+v", got, want)
+	}
+
+	if _, err := MeasurePlan(w, Options{})(plan.Plan{Family: "nope"}); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+// TestFormatPlannerStudySmoke keeps the renderer wired to the data.
+func TestFormatPlannerStudySmoke(t *testing.T) {
+	points, err := PlannerStudy(PlannerScenarios()[:1], 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatPlannerStudy(points)
+	for _, want := range []string{"paper best: Tesseract [4,4,4]", "planner best:", "§3.1 transfers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q:\n%s", want, out)
+		}
+	}
+}

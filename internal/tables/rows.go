@@ -30,8 +30,8 @@ type Row struct {
 	Q, D int
 	// Batch, Hidden, Heads are the model parameters of the row.
 	Batch, Hidden, Heads int
-	// Paper holds the published measurements for EXPERIMENTS.md
-	// comparisons (zero when the paper has no such row).
+	// Paper holds the published measurements printed alongside the
+	// simulated columns (zero when the paper has no such row).
 	Paper Result
 }
 

@@ -15,15 +15,18 @@ import (
 
 // AblationPoint is one depth setting in the depth-sweep ablation.
 type AblationPoint struct {
+	// Q and D are the mesh dimensions of the point ([q, q, d]).
 	Q, D int
+	// GPUs is the resulting processor count q²·d.
 	GPUs int
+	// Result carries the measured timing columns.
 	Result
 }
 
 // DepthAblation sweeps the Tesseract depth at fixed q for the Table 1
-// problem (batch 16, hidden 3072, 64 heads), isolating the effect DESIGN.md
-// calls out: deeper meshes shrink the SUMMA panels broadcast inside each
-// layer at the cost of the (rare) depth all-reduce.
+// problem (batch 16, hidden 3072, 64 heads), isolating the paper's central
+// trade: deeper meshes shrink the SUMMA panels broadcast inside each layer
+// at the cost of the (rare) depth all-reduce.
 func DepthAblation(q int, depths []int, opts Options) ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, d := range depths {
@@ -50,9 +53,13 @@ func FormatAblation(points []AblationPoint) string {
 
 // MemoryPoint compares per-GPU memory for a single [a,b]·[b,c] multiply.
 type MemoryPoint struct {
-	Label         string
-	GPUs          int
-	FormulaElems  float64
+	// Label names the arrangement, e.g. "Tesseract [4,4,2]".
+	Label string
+	// GPUs is the processor count of the arrangement.
+	GPUs int
+	// FormulaElems is the Eq. 7-10 element count per processor.
+	FormulaElems float64
+	// MeasuredElems is what the implementation actually holds.
 	MeasuredElems int
 }
 
@@ -99,9 +106,14 @@ func FormatMemory(a, b, c int, points []MemoryPoint) string {
 // the block-message counts our implementations actually generate for one
 // matrix multiplication at p = 64.
 type TransmissionPoint struct {
-	Algorithm        string
-	Formula          float64
-	MeasuredBlocks   int64
+	// Algorithm names the scheme and its arrangement.
+	Algorithm string
+	// Formula is the paper's closed-form transfer count.
+	Formula float64
+	// MeasuredBlocks counts the pairwise block transfers our
+	// implementation generated.
+	MeasuredBlocks int64
+	// RatioToTesseract is Formula divided by Tesseract's formula count.
 	RatioToTesseract float64
 }
 

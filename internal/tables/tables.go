@@ -7,7 +7,9 @@ import (
 
 // TableResult pairs a row with its measured columns.
 type TableResult struct {
-	Row      Row
+	// Row is the configuration that was executed.
+	Row Row
+	// Measured holds the simulated timing columns.
 	Measured Result
 }
 
@@ -49,7 +51,9 @@ func Format(title string, results []TableResult) string {
 
 // Speedup is one of the §4 headline comparisons, measured and published.
 type Speedup struct {
-	Name            string
+	// Name describes the comparison, e.g. "throughput vs Optimus [8,8]".
+	Name string
+	// Measured and Paper are the simulated and published ratios.
 	Measured, Paper float64
 }
 

@@ -90,8 +90,7 @@ func TestTable1ShapeClaims(t *testing.T) {
 	// Backward: the SUMMA-family schemes run two extra broadcast+reduce
 	// passes (Eq. 3), so the structural backward win is against the other
 	// SUMMA schemes. (The paper's Megatron rows show bwd ≈ 4.4×fwd, an
-	// implementation overhead our first-principles model does not copy;
-	// see EXPERIMENTS.md.)
+	// implementation overhead our first-principles model does not copy.)
 	for name, r := range map[string]Result{"Optimus": o88, "[8,8,1]": t881} {
 		if t444.Backward >= r.Backward {
 			t.Errorf("Tesseract [4,4,4] bwd %.4f should beat %s bwd %.4f", t444.Backward, name, r.Backward)

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR3.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR4.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -38,7 +38,7 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 2; i <= NF; i++) {
         unit = $(i)
-        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac)$/) {
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err)$/) {
             gsub(/[^A-Za-z0-9]/, "_", unit)
             extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
         }
