@@ -13,11 +13,16 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/tables"
 	"repro/internal/tensor"
 	"repro/internal/tesseract"
 	"repro/internal/vit"
+
+	// Register the remaining families for BenchmarkFamilyStep.
+	_ "repro/internal/megatron"
+	_ "repro/internal/optimus"
 )
 
 // BenchmarkTable1StrongScaling regenerates all twelve Table 1 rows.
@@ -98,7 +103,7 @@ func BenchmarkTesseractStep(b *testing.B) {
 		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
 	}
 	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
-	sb, err := vit.NewStepBencher(2, 2, ds, mcfg, tc, 3)
+	sb, err := vit.NewStepBencher(parallel.Layout{Family: "tesseract", Q: 2, D: 2}, ds, mcfg, tc, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,6 +115,37 @@ func BenchmarkTesseractStep(b *testing.B) {
 	b.StopTimer()
 	if hidden, total := sb.Overlap(); total > 0 {
 		b.ReportMetric(hidden/total, "overlap-frac")
+	}
+}
+
+// BenchmarkFamilyStep measures the same steady-state ViT training step
+// under each tensor-parallel family, all driven through the one
+// parallel.Family interface — the refactor's cost is the gap (if any)
+// between BenchmarkFamilyStep/tesseract and BenchmarkTesseractStep.
+func BenchmarkFamilyStep(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	for _, l := range []parallel.Layout{
+		{Family: "tesseract", Q: 2, D: 2},
+		{Family: "optimus", Q: 2},
+		{Family: "megatron", Ranks: 4},
+	} {
+		b.Run(l.Family, func(b *testing.B) {
+			sb, err := vit.NewStepBencher(l, ds, mcfg, tc, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := sb.Steps(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "run the depth ablation")
 		overlap    = flag.Bool("overlap", false, "run the communication-overlap study (predicted vs measured)")
 		planner    = flag.Bool("planner", false, "run the auto-parallelism planner study (best layouts from search, not hard-coded)")
+		families   = flag.Bool("families", false, "run the cross-family parity study (all schemes through one parallel.Family interface)")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -35,7 +36,7 @@ func main() {
 	flag.Parse()
 
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -90,6 +91,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(tables.FormatPlannerStudy(points))
+	}
+	if all || *families {
+		points, err := tables.FamilyParityStudy(tables.DefaultFamilyLayouts())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatFamilyParity(points))
 	}
 }
 

@@ -1,8 +1,16 @@
 // Command vit-train regenerates Figure 7: Vision Transformer training
 // accuracy under (1) a single GPU, (2) Tesseract [2,2,1], (3) Tesseract
-// [2,2,2]. The paper's point — the three curves coincide because Tesseract
-// introduces no approximation — is reproduced on a synthetic 100-class
-// image dataset (see internal/vit for the substitution rationale).
+// [2,2,2]. The paper's point — the curves coincide because tensor
+// parallelism introduces no approximation — is reproduced on a synthetic
+// 100-class image dataset (see internal/vit for the substitution
+// rationale), and because the trainer is written against parallel.Family
+// the same check runs for every scheme:
+//
+//	vit-train                         # Figure 7 (serial + two Tesseract meshes)
+//	vit-train -family megatron -ranks 4
+//	vit-train -family optimus -q 2
+//	vit-train -family tesseract -q 2 -d 2
+//	vit-train -plan 8                 # search layouts, train the best one
 //
 // Output is CSV: setting,epoch,loss,train_acc,test_acc.
 package main
@@ -12,6 +20,13 @@ import (
 	"fmt"
 	"os"
 
+	// Importing the family packages registers them with the parallel
+	// runtime; their PlanAlgo descriptors feed -plan's search.
+	"repro/internal/megatron"
+	"repro/internal/optimus"
+	"repro/internal/parallel"
+	"repro/internal/plan"
+	"repro/internal/tesseract"
 	"repro/internal/vit"
 )
 
@@ -21,13 +36,18 @@ func main() {
 		classes = flag.Int("classes", 100, "number of classes (ImageNet-100 scale: 100)")
 		train   = flag.Int("train-per-class", 12, "training samples per class")
 		test    = flag.Int("test-per-class", 4, "test samples per class")
-		batch   = flag.Int("batch", 8, "batch size (must divide by 4 for the [2,2,2] mesh)")
+		batch   = flag.Int("batch", 8, "batch size (must divide by the family's row shards)")
 		hidden  = flag.Int("hidden", 64, "ViT hidden size")
 		heads   = flag.Int("heads", 4, "attention heads")
 		layers  = flag.Int("layers", 2, "Transformer layers")
 		lr      = flag.Float64("lr", 0.003, "Adam learning rate (paper: 0.003)")
 		wd      = flag.Float64("weight-decay", 0.05, "weight decay (paper: 0.3; lower fits the small synthetic task)")
 		seed    = flag.Uint64("seed", 2022, "random seed (fixed seeds, as in §4.3)")
+		family  = flag.String("family", "", "tensor-parallel family to train (tesseract|optimus|megatron; empty runs the Figure 7 trio)")
+		q       = flag.Int("q", 2, "mesh dimension for tesseract/optimus")
+		d       = flag.Int("d", 1, "tesseract depth")
+		ranks   = flag.Int("ranks", 4, "tensor-parallel size for megatron")
+		planFor = flag.Int("plan", 0, "rank budget: search layouts with plan.Search and train the best candidate (overrides -family)")
 	)
 	flag.Parse()
 
@@ -56,15 +76,87 @@ func main() {
 			fmt.Printf("%s,%d,%.6f,%.4f,%.4f\n", h.Setting, e+1, h.Loss[e], h.TrainAcc[e], h.TestAcc[e])
 		}
 	}
-
-	emit(vit.TrainSerial(ds, mcfg, tc))
-	for _, shape := range []struct{ q, d int }{{2, 1}, {2, 2}} {
-		hist, err := vit.TrainTesseract(shape.q, shape.d, ds, mcfg, tc)
+	trainLayout := func(l parallel.Layout) {
+		hist, err := vit.TrainLayout(l, ds, mcfg, tc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vit-train:", err)
 			os.Exit(1)
 		}
 		emit(hist)
 	}
-	fmt.Fprintln(os.Stderr, "vit-train: done — Figure 7's claim holds iff the three curves coincide")
+
+	emit(vit.TrainSerial(ds, mcfg, tc))
+	switch {
+	case *planFor > 0:
+		// Search → instantiate → train. The search's feasibility filter is
+		// per-token (the timing harness's unit), while the ViT trainer
+		// needs whole sequences per rank, so pick the best candidate whose
+		// layout this model can actually train on.
+		w := plan.Workload{Batch: *batch, SeqLen: mcfg.SeqLen, Hidden: *hidden, Heads: *heads, Layers: *layers}
+		algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+		plans, err := plan.Search(w, plan.Topology{RankBudget: *planFor}, algos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vit-train:", err)
+			os.Exit(1)
+		}
+		best, skipped := pickTrainable(plans, *batch, mcfg)
+		if skipped == len(plans) {
+			fmt.Fprintln(os.Stderr, "vit-train: no searched layout can train this model (batch/patch-dim divisibility)")
+			os.Exit(1)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "vit-train: skipped %d higher-ranked candidates this model cannot train on\n", skipped)
+		}
+		fmt.Fprintf(os.Stderr, "vit-train: plan.Search picked %s (predicted %.3gs/step over %d candidates)\n",
+			best, best.Predicted.Step(), len(plans))
+		trainLayout(best.Layout())
+	case *family != "":
+		// Build the layout from the flags that apply to the family and
+		// reject the ones that don't — a silently dropped -d would train a
+		// different layout than the user asked for. Inapplicable values
+		// (optimus with -d 2) flow through to parallel.Validate's error.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		l := parallel.Layout{Family: *family}
+		if *family == "megatron" {
+			if set["q"] || set["d"] {
+				fmt.Fprintln(os.Stderr, "vit-train: -q/-d do not apply to the 1-D megatron family (use -ranks)")
+				os.Exit(1)
+			}
+			l.Ranks = *ranks
+		} else {
+			if set["ranks"] {
+				fmt.Fprintln(os.Stderr, "vit-train: -ranks applies only to -family megatron (use -q/-d)")
+				os.Exit(1)
+			}
+			l.Q, l.D = *q, *d
+		}
+		trainLayout(l)
+	default:
+		for _, shape := range []struct{ q, d int }{{2, 1}, {2, 2}} {
+			trainLayout(parallel.Layout{Family: "tesseract", Q: shape.q, D: shape.d})
+		}
+	}
+	fmt.Fprintln(os.Stderr, "vit-train: done — the claim holds iff the curves coincide with serial")
+}
+
+// pickTrainable returns the first (best-ranked) plan whose layout the ViT
+// trainer accepts — whole sequences per rank (batch % row shards) and a
+// patch embedding that splits over the mesh — plus how many better-ranked
+// candidates were skipped.
+func pickTrainable(plans []plan.Plan, batch int, mcfg vit.ModelConfig) (plan.Plan, int) {
+	for i, p := range plans {
+		l, err := p.Layout().Normalize()
+		if err != nil {
+			continue
+		}
+		if batch%l.RowShards() != 0 {
+			continue
+		}
+		if l.Q > 0 && (mcfg.PatchDim%l.Q != 0 || mcfg.Hidden%l.Q != 0 || mcfg.Heads%l.Q != 0) {
+			continue
+		}
+		return p, i
+	}
+	return plan.Plan{}, len(plans)
 }

@@ -12,6 +12,7 @@
 //   - internal/summa      — 2-D SUMMA kernels (AB, ABᵀ, AᵀB) shared by all schemes
 //   - internal/cannon     — Cannon's algorithm (baseline, §2.1)
 //   - internal/solomonik  — 2.5-D matrix multiplication (baseline, §2.3)
+//   - internal/parallel   — family-agnostic model layer: the Family/Layer contracts
 //   - internal/tesseract  — the paper's contribution: Tesseract matmul + layers
 //   - internal/megatron   — 1-D Megatron-LM baseline (§2.5)
 //   - internal/optimus    — 2-D Optimus baseline (§2.2)

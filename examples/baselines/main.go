@@ -1,114 +1,33 @@
 // Baselines example: run the SAME Transformer layer under all three tensor
 // parallel schemes of the paper — Megatron-LM 1-D, Optimus 2-D, and
-// Tesseract 2.5-D — from identical seeds, verify all three match the serial
-// reference bit-for-bit (up to reduction order), and compare their
-// simulated time and network traffic on equal GPU counts.
+// Tesseract 2.5-D — through the one parallel.Family interface, from
+// identical seeds, verify all three match the serial reference
+// bit-for-bit (up to reduction order), and compare their simulated time
+// and network traffic on equal GPU counts. The whole comparison is
+// tables.FamilyParityStudy (the same study tesseract-bench -families
+// runs); the layout list is the only input — which is the paper's
+// interchangeability claim as code.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/dist"
-	"repro/internal/megatron"
-	"repro/internal/nn"
-	"repro/internal/optimus"
-	"repro/internal/tensor"
-	"repro/internal/tesseract"
-)
-
-const (
-	hidden = 16
-	heads  = 4
-	seqLen = 4
-	batch  = 8
-	seed   = 123
+	"repro/internal/tables"
 )
 
 func main() {
-	dataRng := tensor.NewRNG(55)
-	x := tensor.RandomMatrix(batch*seqLen, hidden, dataRng)
-	dy := tensor.RandomMatrix(batch*seqLen, hidden, dataRng)
-
-	ref := nn.NewBlock(hidden, heads, seqLen, tensor.NewRNG(seed))
-	wantY := ref.Forward(x)
-	wantDx := ref.Backward(dy)
-
-	fmt.Printf("%-22s %6s | %12s %12s | %12s %10s\n",
-		"scheme", "#GPUs", "max|Δy|", "max|Δdx|", "sim time", "traffic")
-
-	// Megatron-LM [4].
-	{
-		c := dist.New(dist.Config{WorldSize: 4})
-		var gotY, gotDx *tensor.Matrix
-		err := c.Run(func(w *dist.Worker) error {
-			mp := megatron.NewProc(w, 4)
-			blk := megatron.NewBlock(mp, hidden, heads, seqLen, tensor.NewRNG(seed))
-			y := blk.Forward(mp, x)
-			dx := blk.Backward(mp, dy)
-			if w.Rank() == 0 {
-				gotY, gotDx = y, dx
-			}
-			return nil
-		})
-		report("Megatron-LM [4]", 4, err, c, gotY, gotDx, wantY, wantDx)
-	}
-
-	// Optimus [2,2].
-	{
-		c := dist.New(dist.Config{WorldSize: 4})
-		var gotY, gotDx *tensor.Matrix
-		err := c.Run(func(w *dist.Worker) error {
-			op := optimus.NewProc(w, 2)
-			blk := optimus.NewBlock(op, hidden, heads, seqLen, tensor.NewRNG(seed))
-			y := blk.Forward(op, op.DistributeA(x))
-			dx := blk.Backward(op, op.DistributeA(dy))
-			if w.Rank() == 0 {
-				gotY = op.CollectA(y)
-				gotDx = op.CollectA(dx)
-			} else {
-				op.CollectA(y)
-				op.CollectA(dx)
-			}
-			return nil
-		})
-		report("Optimus [2,2]", 4, err, c, gotY, gotDx, wantY, wantDx)
-	}
-
-	// Tesseract [2,2,2] — twice the GPUs, same math.
-	{
-		c := dist.New(dist.Config{WorldSize: 8})
-		var gotY, gotDx *tensor.Matrix
-		err := c.Run(func(w *dist.Worker) error {
-			p := tesseract.NewProc(w, 2, 2)
-			blk := tesseract.NewBlock(p, hidden, heads, seqLen, tensor.NewRNG(seed))
-			y := blk.Forward(p, p.DistributeA(x))
-			dx := blk.Backward(p, p.DistributeA(dy))
-			p.DrainGradients()
-			fy := p.CollectA(y)
-			fdx := p.CollectA(dx)
-			if w.Rank() == 0 {
-				gotY, gotDx = fy, fdx
-			}
-			return nil
-		})
-		report("Tesseract [2,2,2]", 8, err, c, gotY, gotDx, wantY, wantDx)
-	}
-
-	fmt.Println("\nall schemes computed the identical layer — they differ only in how")
-	fmt.Println("they partition it, which is exactly what the paper's tables measure")
-}
-
-func report(name string, gpus int, err error, c *dist.Cluster, gotY, gotDx, wantY, wantDx *tensor.Matrix) {
+	points, err := tables.FamilyParityStudy(tables.DefaultFamilyLayouts())
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		log.Fatal(err)
 	}
-	dyMax := gotY.MaxAbsDiff(wantY)
-	dxMax := gotDx.MaxAbsDiff(wantDx)
-	if dyMax > 1e-9 || dxMax > 1e-9 {
-		log.Fatalf("%s: diverged from serial (|Δy|=%g, |Δdx|=%g)", name, dyMax, dxMax)
+	fmt.Print(tables.FormatFamilyParity(points))
+	for _, p := range points {
+		if p.MaxDiffY > 1e-9 || p.MaxDiffDx > 1e-9 {
+			log.Fatalf("%s: diverged from serial (|Δy|=%g, |Δdx|=%g)", p.Layout, p.MaxDiffY, p.MaxDiffDx)
+		}
 	}
-	st := c.Stats()
-	fmt.Printf("%-22s %6d | %12.3g %12.3g | %10.3gs %8.1fKB\n",
-		name, gpus, dyMax, dxMax, c.MaxClock(), float64(st.Bytes)/1e3)
+	fmt.Println("\nall schemes computed the identical layer through one interface — they")
+	fmt.Println("differ only in how they partition it, which is exactly what the paper's")
+	fmt.Println("tables measure")
 }

@@ -1,30 +1,35 @@
-// Package hybrid implements §3.4 of the paper (Figure 6): composing
-// Tesseract tensor parallelism with data parallelism and pipeline
-// parallelism. The cluster is carved into
+// Package hybrid implements §3.4 of the paper (Figure 6): composing tensor
+// parallelism with data parallelism and pipeline parallelism. The cluster
+// is carved into
 //
-//	dataParallel × pipelineStages × (d·q²)
+//	dataParallel × pipelineStages × meshSize
 //
 // workers: each data-parallel replica owns a chain of pipeline stages, each
-// stage owns one [q, q, d] Tesseract mesh holding a contiguous slice of the
-// Transformer layers. Rank layout is replica-major, then stage-major, then
-// the mesh's own layer-major layout, matching Figure 6's colour blocks:
+// stage owns one tensor-parallel family — any registered parallel.Family: a
+// [q, q, d] Tesseract mesh (the default), an Optimus [q, q] mesh, or a
+// Megatron [p] group — holding a contiguous slice of the Transformer
+// layers. Rank layout is replica-major, then stage-major, then the family's
+// own layout, matching Figure 6's colour blocks; for Tesseract:
 //
 //	rank = replica·(stages·d·q²) + stage·(d·q²) + k·q² + i·q + j
 //
 // Data parallelism all-reduces parameter gradients across the replicas'
 // corresponding processors after each backward pass; pipeline parallelism
 // moves activations (and gradients, in reverse) point-to-point between the
-// same grid position of adjacent stages.
+// same position of adjacent stages.
 package hybrid
 
 import (
 	"fmt"
 
 	"repro/internal/dist"
-	"repro/internal/mesh"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
-	"repro/internal/tesseract"
+
+	// Config.Family defaults to "tesseract", so this package links it;
+	// other families register through the caller's imports.
+	_ "repro/internal/tesseract"
 )
 
 // Config describes the composition.
@@ -33,12 +38,31 @@ type Config struct {
 	DataParallel int
 	// PipelineStages (≥1); Layers must divide by it.
 	PipelineStages int
-	// Q, D: the Tesseract mesh inside each stage.
+	// Family names the tensor-parallel family inside each stage
+	// ("tesseract" when empty). Non-default families must be registered
+	// by importing their package.
+	Family string
+	// Q, D: the mesh inside each stage for the 2-D/2.5-D families; zero
+	// for 1-D families.
 	Q, D int
+	// Ranks is the stage size for 1-D families (derived from Q and D
+	// otherwise).
+	Ranks int
 	// Model dimensions.
 	Hidden, Heads, SeqLen, Layers int
 	// Seed for parameter initialisation (identical across replicas).
 	Seed uint64
+}
+
+// layout returns the per-stage family layout (base 0), validated against
+// the family's registered static constraints so an impossible composition
+// is rejected before any cluster is sized from it.
+func (c Config) layout() (parallel.Layout, error) {
+	fam := c.Family
+	if fam == "" {
+		fam = "tesseract"
+	}
+	return parallel.Validate(parallel.Layout{Family: fam, Q: c.Q, D: c.D, Ranks: c.Ranks})
 }
 
 // Validate checks the composition and returns the total worker count.
@@ -49,29 +73,40 @@ func (c Config) Validate() (int, error) {
 	if c.Layers%c.PipelineStages != 0 {
 		return 0, fmt.Errorf("hybrid: %d layers not divisible by %d stages", c.Layers, c.PipelineStages)
 	}
-	s := mesh.Shape{Q: c.Q, D: c.D}
-	if err := s.Validate(); err != nil {
+	l, err := c.layout()
+	if err != nil {
 		return 0, err
 	}
-	return c.DataParallel * c.PipelineStages * s.Size(), nil
+	return c.DataParallel * c.PipelineStages * l.Ranks, nil
 }
 
-// MeshSize returns d·q².
-func (c Config) MeshSize() int { return c.Q * c.Q * c.D }
+// MeshSize returns the per-stage family size, or 0 when the configuration
+// is invalid (call Validate first for the error).
+func (c Config) MeshSize() int {
+	l, err := c.layout()
+	if err != nil {
+		return 0
+	}
+	return l.Ranks
+}
 
 // Proc is one worker's view of the composed machine.
 type Proc struct {
 	Cfg     Config
 	Replica int
 	Stage   int
-	// Tess is the worker's Tesseract mesh view within its stage.
-	Tess *tesseract.Proc
-	// DP spans the DataParallel workers at the same (stage, i, j, k),
+	// meshSize caches the normalized per-stage family size, so the
+	// pipeline's per-handoff rank arithmetic never re-derives the layout.
+	meshSize int
+	// Fam is the worker's tensor-parallel family view within its stage —
+	// the stage's model layer, whatever the family.
+	Fam parallel.Family
+	// DP spans the DataParallel workers at the same (stage, position),
 	// ordered by replica — the group that keeps parameter replicas in
 	// sync (the "same colour" blocks of Figure 6).
 	DP *dist.Group
 
-	blocks []*tesseract.Block
+	blocks []parallel.Layer
 	x      *tensor.Matrix
 
 	// In-flight data-parallel gradient all-reduces (issue → wait), reused
@@ -92,17 +127,24 @@ func NewProc(w *dist.Worker, cfg Config) (*Proc, error) {
 	if w.Cluster().WorldSize() < world {
 		return nil, fmt.Errorf("hybrid: cluster has %d workers, composition needs %d", w.Cluster().WorldSize(), world)
 	}
-	meshSize := cfg.MeshSize()
+	l, err := cfg.layout()
+	if err != nil {
+		return nil, err
+	}
+	meshSize := l.Ranks
 	perReplica := cfg.PipelineStages * meshSize
 	replica := w.Rank() / perReplica
 	stage := (w.Rank() % perReplica) / meshSize
-	base := replica*perReplica + stage*meshSize
+	l.Base = replica*perReplica + stage*meshSize
 
-	p := &Proc{Cfg: cfg, Replica: replica, Stage: stage}
-	p.Tess = tesseract.NewProcAt(w, mesh.Shape{Q: cfg.Q, D: cfg.D, Base: base})
+	p := &Proc{Cfg: cfg, Replica: replica, Stage: stage, meshSize: meshSize}
+	p.Fam, err = parallel.New(w, l)
+	if err != nil {
+		return nil, err
+	}
 
-	// Data-parallel group: same stage and same mesh coordinates across
-	// replicas, ordered by replica index.
+	// Data-parallel group: same stage and same position within the stage
+	// across replicas, ordered by replica index.
 	dpRanks := make([]int, cfg.DataParallel)
 	offset := w.Rank() - replica*perReplica
 	for r := range dpRanks {
@@ -111,10 +153,10 @@ func NewProc(w *dist.Worker, cfg Config) (*Proc, error) {
 	p.DP = w.Cluster().Group(dpRanks...)
 
 	layersPerStage := cfg.Layers / cfg.PipelineStages
-	for l := 0; l < layersPerStage; l++ {
-		globalLayer := stage*layersPerStage + l
+	for i := 0; i < layersPerStage; i++ {
+		globalLayer := stage*layersPerStage + i
 		rng := tensor.NewRNG(cfg.Seed + uint64(globalLayer)*7919)
-		p.blocks = append(p.blocks, tesseract.NewBlock(p.Tess, cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
+		p.blocks = append(p.blocks, p.Fam.NewBlock(cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
 	}
 	return p, nil
 }
@@ -128,33 +170,33 @@ func (p *Proc) Params() []*nn.Param {
 	return out
 }
 
-// peer returns the rank at the same mesh coordinates in an adjacent stage.
+// peer returns the rank at the same position in an adjacent stage.
 func (p *Proc) peer(stage int) int {
-	meshSize := p.Cfg.MeshSize()
-	perReplica := p.Cfg.PipelineStages * meshSize
-	local := p.Tess.W.Rank() - (p.Replica*perReplica + p.Stage*meshSize)
-	return p.Replica*perReplica + stage*meshSize + local
+	perReplica := p.Cfg.PipelineStages * p.meshSize
+	local := p.Fam.Worker().Rank() - (p.Replica*perReplica + p.Stage*p.meshSize)
+	return p.Replica*perReplica + stage*p.meshSize + local
 }
 
 // Forward runs this worker's stage over its replica's local input block.
-// Stage 0 consumes x (the replica's A-distributed input); later stages
+// Stage 0 consumes x (the replica's family-distributed input); later stages
 // receive their input from the previous stage's matching processor.
 // Only the last stage returns the output block; others return nil.
 func (p *Proc) Forward(x *tensor.Matrix) *tensor.Matrix {
+	w := p.Fam.Worker()
 	if p.Stage == 0 {
 		if x == nil {
 			panic("hybrid: stage 0 requires an input block")
 		}
 	} else {
-		x = p.Tess.W.Recv(p.peer(p.Stage - 1))
+		x = w.Recv(p.peer(p.Stage - 1))
 	}
 	p.x = x
 	h := x
 	for _, b := range p.blocks {
-		h = b.Forward(p.Tess, h)
+		h = b.Forward(h)
 	}
 	if p.Stage < p.Cfg.PipelineStages-1 {
-		p.Tess.W.Send(p.peer(p.Stage+1), h)
+		w.Send(p.peer(p.Stage+1), h)
 		return nil
 	}
 	return h
@@ -166,26 +208,28 @@ func (p *Proc) Forward(x *tensor.Matrix) *tensor.Matrix {
 // gradient is all-reduced across the data-parallel replicas and averaged,
 // keeping the replicas synchronised.
 //
-// The synchronisation is overlapped: the per-layer depth all-reduces queued
-// by the blocks drain first, then every data-parallel all-reduce is issued
-// nonblocking, the pipeline handoff to the previous stage goes out while
-// those reductions are in flight, and only then does the stage wait and
-// average — so the handoff never sits behind the gradient sync.
+// The synchronisation is overlapped: the per-layer gradient syncs the
+// family deferred (Tesseract's §3.1 depth all-reduces) drain first, then
+// every data-parallel all-reduce is issued nonblocking, the pipeline
+// handoff to the previous stage goes out while those reductions are in
+// flight, and only then does the stage wait and average — so the handoff
+// never sits behind the gradient sync.
 func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	w := p.Fam.Worker()
 	if p.Stage == p.Cfg.PipelineStages-1 {
 		if dy == nil {
 			panic("hybrid: last stage requires an output gradient")
 		}
 	} else {
-		dy = p.Tess.W.Recv(p.peer(p.Stage + 1))
+		dy = w.Recv(p.peer(p.Stage + 1))
 	}
 	for i := len(p.blocks) - 1; i >= 0; i-- {
-		dy = p.blocks[i].Backward(p.Tess, dy)
+		dy = p.blocks[i].Backward(dy)
 	}
-	p.Tess.DrainGradients()
+	p.Fam.DrainGradients()
 	p.issueGradSync()
 	if p.Stage > 0 {
-		p.Tess.W.Send(p.peer(p.Stage-1), dy)
+		w.Send(p.peer(p.Stage-1), dy)
 		dy = nil
 	}
 	p.waitGradSync()
@@ -193,7 +237,7 @@ func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
 }
 
 // EndStep recycles this worker's workspace buffers at a training-step
-// boundary. Unlike a pure Tesseract mesh — where every cross-worker read
+// boundary. Unlike a standalone family — where every cross-worker read
 // completes inside a collective — the pipeline hands activation and
 // gradient buffers to adjacent stages by pointer, and the receiving stage
 // may still be reading them when this worker's Backward returns. EndStep
@@ -201,9 +245,9 @@ func (p *Proc) Backward(dy *tensor.Matrix) *tensor.Matrix {
 // same point (after the optimiser update), and only once all have arrived
 // is it safe for each to release.
 func (p *Proc) EndStep() {
-	w := p.Tess.W
+	w := p.Fam.Worker()
 	w.Cluster().WorldGroup().Barrier(w)
-	w.Workspace().ReleaseAll()
+	p.Fam.EndStep()
 }
 
 // issueGradSync launches an in-place nonblocking all-reduce of every
@@ -216,7 +260,7 @@ func (p *Proc) issueGradSync() {
 	p.dpParams = append(p.dpParams[:0], p.Params()...)
 	p.dpHandles = p.dpHandles[:0]
 	for _, pa := range p.dpParams {
-		p.dpHandles = append(p.dpHandles, p.DP.IAllReduceInto(p.Tess.W, pa.Grad, pa.Grad))
+		p.dpHandles = append(p.dpHandles, p.DP.IAllReduceInto(p.Fam.Worker(), pa.Grad, pa.Grad))
 	}
 }
 
@@ -233,8 +277,8 @@ func (p *Proc) waitGradSync() {
 }
 
 // ShardBatch splits a replicated global batch [b·s, cols] into the
-// replica's share (replica r takes the r-th sequence block) — the
-// data-parallel input split of Figure 6.
+// replica's share (replica r takes the r-th sequence block), distributed
+// the family's way — the data-parallel input split of Figure 6.
 func (p *Proc) ShardBatch(global *tensor.Matrix, seqLen int) *tensor.Matrix {
 	b := global.Rows / seqLen
 	if b%p.Cfg.DataParallel != 0 {
@@ -242,5 +286,5 @@ func (p *Proc) ShardBatch(global *tensor.Matrix, seqLen int) *tensor.Matrix {
 	}
 	per := b / p.Cfg.DataParallel
 	share := global.SubMatrix(p.Replica*per*seqLen, 0, per*seqLen, global.Cols)
-	return p.Tess.DistributeA(share)
+	return p.Fam.Distribute(share)
 }

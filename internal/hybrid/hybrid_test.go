@@ -2,12 +2,16 @@ package hybrid
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/tesseract"
 	"repro/internal/testutil"
+
+	_ "repro/internal/megatron" // register the megatron inner family under test
 )
 
 const (
@@ -100,19 +104,19 @@ func TestTensorPipelineMatchesSerial(t *testing.T) {
 		}
 		var in *tensor.Matrix
 		if p.Stage == 0 {
-			in = p.Tess.DistributeA(x)
+			in = p.Fam.Distribute(x)
 		}
 		out := p.Forward(in)
 		if p.Stage == cfg.PipelineStages-1 {
-			ys.Put(w.Rank(), p.Tess.CollectA(out))
+			ys.Put(w.Rank(), p.Fam.Collect(out))
 		}
 		var dout *tensor.Matrix
 		if p.Stage == cfg.PipelineStages-1 {
-			dout = p.Tess.DistributeA(dy)
+			dout = p.Fam.Distribute(dy)
 		}
 		dx := p.Backward(dout)
 		if p.Stage == 0 {
-			dxs.Put(w.Rank(), p.Tess.CollectA(dx))
+			dxs.Put(w.Rank(), p.Fam.Collect(dx))
 		}
 		p.EndStep() // step boundary: barrier, then recycle the pipeline's buffers
 		return nil
@@ -155,7 +159,7 @@ func TestDataParallelGradientAveraging(t *testing.T) {
 		}
 		local := p.ShardBatch(x, seqLen)
 		out := p.Forward(local)
-		full := p.Tess.CollectA(out)
+		full := p.Fam.Collect(out)
 		// Per-replica loss over the replica's half of the targets.
 		per := target.Rows / cfg.DataParallel
 		tgt := target.SubMatrix(p.Replica*per, 0, per, target.Cols)
@@ -163,8 +167,9 @@ func TestDataParallelGradientAveraging(t *testing.T) {
 		for _, pa := range p.Params() {
 			pa.ZeroGrad()
 		}
-		p.Backward(p.Tess.DistributeA(dloc))
-		grads.Put(w.Rank(), p.Tess.CollectB(p.blocks[0].Mlp.Fc1.W.Grad))
+		p.Backward(p.Fam.Distribute(dloc))
+		tb := p.blocks[0].(*tesseract.BlockLayer).Block()
+		grads.Put(w.Rank(), p.Fam.(*tesseract.Family).Proc().CollectB(tb.Mlp.Fc1.W.Grad))
 		return nil
 	})
 	for r := 0; r < world; r++ {
@@ -196,11 +201,11 @@ func TestFullCompositionTrainsInSync(t *testing.T) {
 			out := p.Forward(in)
 			var dout *tensor.Matrix
 			if p.Stage == cfg.PipelineStages-1 {
-				full := p.Tess.CollectA(out)
+				full := p.Fam.Collect(out)
 				per := target.Rows / cfg.DataParallel
 				tgt := target.SubMatrix(p.Replica*per, 0, per, target.Cols)
 				_, dloc := nn.MSE(full, tgt)
-				dout = p.Tess.DistributeA(dloc)
+				dout = p.Fam.Distribute(dloc)
 			}
 			for _, pa := range p.Params() {
 				pa.ZeroGrad()
@@ -208,7 +213,7 @@ func TestFullCompositionTrainsInSync(t *testing.T) {
 			p.Backward(dout)
 			opt.Step(p.Params())
 		}
-		weights.Put(w.Rank(), p.blocks[0].Mlp.Fc1.W.Value.Clone())
+		weights.Put(w.Rank(), p.blocks[0].(*tesseract.BlockLayer).Block().Mlp.Fc1.W.Value.Clone())
 		return nil
 	})
 	// Corresponding processors of the two replicas must hold identical
@@ -221,5 +226,100 @@ func TestFullCompositionTrainsInSync(t *testing.T) {
 		if a.MaxAbsDiff(b) != 0 {
 			t.Fatalf("replicas diverged at rank pair %d/%d: %g", r, r+8, a.MaxAbsDiff(b))
 		}
+	}
+}
+
+func TestMegatronInnerFamilyPipeline(t *testing.T) {
+	// The composition is family-agnostic: dp=2, pp=2 with a Megatron [2]
+	// tensor-parallel group inside each stage (8 workers). Activations are
+	// replicated within a stage, so Distribute/Collect are identities and
+	// the pipeline hands the full matrix between stages; two optimiser
+	// steps must keep the replicas identical and match the serial stack.
+	cfg := Config{DataParallel: 2, PipelineStages: 2, Family: "megatron", Ranks: 2,
+		Hidden: h, Heads: heads, SeqLen: seqLen, Layers: 2, Seed: 21}
+	world, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world != 8 {
+		t.Fatalf("world size %d, want 8", world)
+	}
+	rng := tensor.NewRNG(14)
+	x := tensor.RandomMatrix(16, h, rng)
+	target := tensor.RandomMatrix(16, h, rng)
+
+	// Serial reference over the full batch (per-replica MSE gradients
+	// averaged across replicas equal the full-batch gradient).
+	ref := serialStack(cfg.Layers, cfg.Seed)
+	wantY := serialForward(ref, x)
+
+	ys := testutil.NewCollector()
+	weights := testutil.NewCollector()
+	testutil.Run(t, world, func(w *dist.Worker) error {
+		p, err := NewProc(w, cfg)
+		if err != nil {
+			return err
+		}
+		opt := nn.NewAdam(1e-2, 0)
+		for step := 0; step < 2; step++ {
+			var in *tensor.Matrix
+			if p.Stage == 0 {
+				in = p.ShardBatch(x, seqLen)
+			}
+			out := p.Forward(in)
+			var dout *tensor.Matrix
+			if p.Stage == cfg.PipelineStages-1 {
+				full := p.Fam.Collect(out)
+				if step == 0 {
+					ys.Put(w.Rank(), full.Clone())
+				}
+				per := target.Rows / cfg.DataParallel
+				tgt := target.SubMatrix(p.Replica*per, 0, per, target.Cols)
+				_, dloc := nn.MSE(full, tgt)
+				dout = p.Fam.Distribute(dloc)
+			}
+			for _, pa := range p.Params() {
+				pa.ZeroGrad()
+			}
+			p.Backward(dout)
+			opt.Step(p.Params())
+			p.EndStep()
+		}
+		weights.Put(w.Rank(), p.Params()[0].Value.Clone())
+		return nil
+	})
+	// Step 0's last-stage output over replica 0's half must match the
+	// serial forward of the same rows (up to all-reduce ordering).
+	got := ys.Get(world/2 - 1) // replica 0, last stage, first mesh rank
+	want := wantY.SubMatrix(0, 0, wantY.Rows/cfg.DataParallel, wantY.Cols)
+	if got == nil {
+		t.Fatal("missing last-stage output")
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-8 || math.IsNaN(d) {
+		t.Fatalf("megatron pipeline diverged from serial: max|Δ| = %g", d)
+	}
+	// Replicas must remain identical after training (replica 1 offset by 4).
+	for r := 0; r < 4; r++ {
+		a, b := weights.Get(r), weights.Get(r+4)
+		if a == nil || b == nil {
+			t.Fatalf("missing weights for rank pair %d/%d", r, r+4)
+		}
+		if a.MaxAbsDiff(b) != 0 {
+			t.Fatalf("replicas diverged at rank pair %d/%d", r, r+4)
+		}
+	}
+}
+
+func TestValidateRejectsImpossibleFamilyLayouts(t *testing.T) {
+	// A 1-D family given a mesh must fail Validate up front, not per-rank
+	// inside the cluster after the world was sized from a bogus layout.
+	if _, err := (Config{DataParallel: 2, PipelineStages: 2, Family: "megatron", Q: 2, Layers: 2}).Validate(); err == nil {
+		t.Fatal("megatron with a mesh dimension must be rejected by Validate")
+	}
+	if _, err := (Config{DataParallel: 1, PipelineStages: 1, Family: "optimus", Q: 2, D: 2, Layers: 1}).Validate(); err == nil {
+		t.Fatal("optimus with depth must be rejected by Validate")
+	}
+	if _, err := (Config{DataParallel: 1, PipelineStages: 1, Family: "no-such", Ranks: 2, Layers: 1}).Validate(); err == nil {
+		t.Fatal("unregistered family must be rejected by Validate")
 	}
 }

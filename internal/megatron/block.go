@@ -158,120 +158,11 @@ func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix 
 	return dqkv
 }
 
-// MLP is the Megatron feed-forward module: column-parallel h→4h with GELU,
-// row-parallel 4h→h with the forward all-reduce.
-type MLP struct {
-	H   int
-	Fc1 *ColLinear
-	Fc2 *RowLinear
-}
-
-// NewMLP draws Fc1, Fc2 from rng in the serial order.
-func NewMLP(p *Proc, h int, rng *tensor.RNG) *MLP {
-	return &MLP{
-		H:   h,
-		Fc1: NewColLinear(p, h, 4*h, nn.ActGELU, true, rng),
-		Fc2: NewRowLinear(p, 4*h, h, true, rng),
-	}
-}
-
-// NewMLPPhantom builds the shape-only variant.
-func NewMLPPhantom(p *Proc, h int) *MLP {
-	return &MLP{
-		H:   h,
-		Fc1: NewColLinearPhantom(p, h, 4*h, nn.ActGELU, true),
-		Fc2: NewRowLinearPhantom(p, 4*h, h, true),
-	}
-}
-
-// Params returns the local shards.
-func (m *MLP) Params() []*nn.Param {
-	return append(m.Fc1.Params(), m.Fc2.Params()...)
-}
-
-// Forward applies both projections.
-func (m *MLP) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
-	return m.Fc2.Forward(p, m.Fc1.Forward(p, x))
-}
-
-// Backward propagates through both projections.
-func (m *MLP) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
-	return m.Fc1.Backward(p, m.Fc2.Backward(p, dy))
-}
-
-// LayerNorm is computed redundantly on the replicated activation (Megatron
-// keeps layer norms un-sharded); it reuses the serial implementation and
-// charges the flops to the simulated clock.
-type LayerNorm struct {
-	inner *nn.LayerNorm
-}
-
-// NewLayerNorm builds the replicated layer norm.
-func NewLayerNorm(h int) *LayerNorm { return &LayerNorm{inner: nn.NewLayerNorm(h)} }
-
-// Forward normalises the replicated activation.
-func (l *LayerNorm) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
-	p.W.Compute(float64(x.Size()) * (compute.FlopsPerNorm + 2))
-	return l.inner.Forward(x)
-}
-
-// Backward applies Eq. 14 on the replicated gradient.
-func (l *LayerNorm) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
-	p.W.Compute(float64(dy.Size()) * (compute.FlopsPerNorm + 2))
-	return l.inner.Backward(dy)
-}
-
-// Block is one Megatron-parallel Transformer layer with the paper's
-// residual-plus-layer-norm structure. Per layer it performs exactly two
-// forward all-reduces and two backward all-reduces of the [b·s, h]
-// activation — the communication volume 2β(p−1)·b·s·h/p per direction that
-// §3.1 attributes to Megatron-LM.
-type Block struct {
-	H int
-
-	Attn *Attention
-	Ln1  *LayerNorm
-	Mlp  *MLP
-	Ln2  *LayerNorm
-}
-
-// NewBlock draws parameters from rng in the serial order.
-func NewBlock(p *Proc, h, heads, seqLen int, rng *tensor.RNG) *Block {
-	return &Block{
-		H:    h,
-		Attn: NewAttention(p, h, heads, seqLen, rng),
-		Ln1:  NewLayerNorm(h),
-		Mlp:  NewMLP(p, h, rng),
-		Ln2:  NewLayerNorm(h),
-	}
-}
-
-// NewBlockPhantom builds the shape-only variant.
-func NewBlockPhantom(p *Proc, h, heads, seqLen int) *Block {
-	return &Block{
-		H:    h,
-		Attn: NewAttentionPhantom(p, h, heads, seqLen),
-		Ln1:  NewLayerNorm(h),
-		Mlp:  NewMLPPhantom(p, h),
-		Ln2:  NewLayerNorm(h),
-	}
-}
-
-// Params returns the local shards.
-func (b *Block) Params() []*nn.Param {
-	return append(b.Attn.Params(), b.Mlp.Params()...)
-}
-
-// Forward computes the replicated block output.
-func (b *Block) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
-	y := b.Ln1.Forward(p, compute.Add(p.W, x, b.Attn.Forward(p, x)))
-	return b.Ln2.Forward(p, compute.Add(p.W, y, b.Mlp.Forward(p, y)))
-}
-
-// Backward propagates through the block.
-func (b *Block) Backward(p *Proc, dz *tensor.Matrix) *tensor.Matrix {
-	dr2 := b.Ln2.Backward(p, dz)
-	dy := compute.Add(p.W, dr2, b.Mlp.Backward(p, dr2))
-	dr1 := b.Ln1.Backward(p, dy)
-	return compute.Add(p.W, dr1, b.Attn.Backward(p, dr1))
-}
+// The Block, MLP and LayerNorm wrappers that used to live here were
+// deleted in favor of the shared generic composition: the family's
+// NewBlock assembles parallel.Block from this package's Attention and
+// column/row-parallel linears plus parallel.ReplicatedLayerNorm (see
+// family.go). Per layer the composition still performs exactly two forward
+// all-reduces and two backward all-reduces of the [b·s, h] activation —
+// the communication volume 2β(p−1)·b·s·h/p per direction that §3.1
+// attributes to Megatron-LM.

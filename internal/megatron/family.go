@@ -1,0 +1,142 @@
+package megatron
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func init() {
+	parallel.RegisterCheck("megatron", func(l parallel.Layout) error {
+		if l.Q != 0 {
+			return fmt.Errorf("megatron: 1-D family cannot take a mesh %s", l.Shape())
+		}
+		return nil
+	})
+	parallel.Register("megatron", func(w *dist.Worker, l parallel.Layout) (parallel.Family, error) {
+		return &Family{p: NewProcAt(w, l.Ranks, l.Base), layout: l}, nil
+	})
+}
+
+// Family is Megatron-LM's implementation of the family-agnostic model
+// layer: activations fully replicated on every rank (the memory cost Eq. 9
+// charges it with), weights split 1-D across the tensor-parallel group.
+// Distribute, Collect, Slice and GatherPooled are therefore identities —
+// replication is this family's distribution — and the Transformer block is
+// the shared parallel.Block composition over this package's column/row
+// linears and attention, with parallel.ReplicatedLayerNorm for the
+// un-sharded layer norms.
+type Family struct {
+	p      *Proc
+	layout parallel.Layout
+}
+
+// NewFamily attaches the calling worker to the tensor-parallel group
+// spanning cluster ranks [0, p) and returns the family view.
+func NewFamily(w *dist.Worker, p int) *Family {
+	return &Family{p: NewProc(w, p), layout: parallel.Layout{Family: "megatron", Ranks: p}}
+}
+
+// Name returns "megatron".
+func (f *Family) Name() string { return "megatron" }
+
+// Layout returns the 1-D layout.
+func (f *Family) Layout() parallel.Layout { return f.layout }
+
+// Worker returns the rank's cluster view.
+func (f *Family) Worker() *dist.Worker { return f.p.W }
+
+// Proc exposes the underlying tensor-parallel view.
+func (f *Family) Proc() *Proc { return f.p }
+
+// RowShards returns 1: activations are replicated, never row-split.
+func (f *Family) RowShards() int { return 1 }
+
+// NewLinear builds the replicated serial linear: Megatron keeps
+// activations replicated, so a model-level linear that must map a
+// replicated input to a replicated output (the ViT patch embedding) is
+// computed redundantly on every rank, exactly like the classifier head.
+func (f *Family) NewLinear(in, out int, act nn.Activation, bias bool, rng *tensor.RNG) parallel.Layer {
+	return parallel.NewReplicatedLinear(f.p.W, in, out, act, bias, rng)
+}
+
+// NewBlock builds one Megatron-parallel Transformer block via the shared
+// composition, drawing parameters from rng in the serial order
+// (attention Wq..Wo, then MLP Fc1, Fc2).
+func (f *Family) NewBlock(h, heads, seqLen int, rng *tensor.RNG) parallel.Layer {
+	attn := bound{p: f.p, m: NewAttention(f.p, h, heads, seqLen, rng)}
+	mlp := newMLP(f.p, h, rng)
+	return parallel.NewBlock(f.p.W, h, attn, f.NewLayerNorm(h), mlp, f.NewLayerNorm(h))
+}
+
+// NewBlockPhantom builds the shape-only block for paper-scale timing.
+func (f *Family) NewBlockPhantom(h, heads, seqLen int) parallel.Layer {
+	attn := bound{p: f.p, m: NewAttentionPhantom(f.p, h, heads, seqLen)}
+	mlp := parallel.NewSequence(
+		bound{p: f.p, m: NewColLinearPhantom(f.p, h, 4*h, nn.ActGELU, true)},
+		bound{p: f.p, m: NewRowLinearPhantom(f.p, 4*h, h, true)},
+	)
+	return parallel.NewBlock(f.p.W, h, attn, f.NewLayerNorm(h), mlp, f.NewLayerNorm(h))
+}
+
+// NewLayerNorm builds the replicated (un-sharded) layer norm.
+func (f *Family) NewLayerNorm(h int) parallel.Layer {
+	return parallel.NewReplicatedLayerNorm(f.p.W, h)
+}
+
+// NewHead builds the replicated classifier head.
+func (f *Family) NewHead(in, out int, rng *tensor.RNG) parallel.Layer {
+	return parallel.NewReplicatedLinear(f.p.W, in, out, nn.ActNone, true, rng)
+}
+
+// Distribute is the identity: every rank holds the full activation.
+func (f *Family) Distribute(global *tensor.Matrix) *tensor.Matrix { return global }
+
+// Collect is the identity: activations are already replicated.
+func (f *Family) Collect(local *tensor.Matrix) *tensor.Matrix { return local }
+
+// Slice reports the whole matrix: this rank holds all of it.
+func (f *Family) Slice(rows, cols int) parallel.Slice {
+	return parallel.Slice{Rows: rows, Cols: cols}
+}
+
+// GatherPooled is the identity: pooling a replicated activation yields the
+// full replicated result on every rank.
+func (f *Family) GatherPooled(local *tensor.Matrix) *tensor.Matrix { return local }
+
+// DrainGradients is a no-op: the column/row-parallel linears synchronise
+// activations in-line and their weight-shard gradients are rank-local.
+func (f *Family) DrainGradients() {}
+
+// EndStep recycles the rank's workspace at the step boundary.
+func (f *Family) EndStep() { f.p.W.Workspace().ReleaseAll() }
+
+// newMLP chains the column-parallel h→4h GELU linear with the row-parallel
+// 4h→h linear, drawing Fc1, Fc2 from rng in the serial order.
+func newMLP(p *Proc, h int, rng *tensor.RNG) parallel.Layer {
+	return parallel.NewSequence(
+		bound{p: p, m: NewColLinear(p, h, 4*h, nn.ActGELU, true, rng)},
+		bound{p: p, m: NewRowLinear(p, 4*h, h, true, rng)},
+	)
+}
+
+// procModule is the method shape every sub-layer in this package shares:
+// forward/backward over the group view plus the owned parameter shards.
+type procModule interface {
+	Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix
+	Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix
+	Params() []*nn.Param
+}
+
+// bound binds a sub-layer to its group view, adapting it to parallel.Layer.
+type bound struct {
+	p *Proc
+	m procModule
+}
+
+func (b bound) Forward(x *tensor.Matrix) *tensor.Matrix   { return b.m.Forward(b.p, x) }
+func (b bound) Backward(dy *tensor.Matrix) *tensor.Matrix { return b.m.Backward(b.p, dy) }
+func (b bound) Params() []*nn.Param                       { return b.m.Params() }

@@ -32,14 +32,21 @@ type Proc struct {
 // NewProc attaches the calling worker to the tensor-parallel group spanning
 // cluster ranks [0, p).
 func NewProc(w *dist.Worker, p int) *Proc {
+	return NewProcAt(w, p, 0)
+}
+
+// NewProcAt attaches the calling worker to the tensor-parallel group
+// spanning cluster ranks [base, base+p) — used when composing with data or
+// pipeline parallelism, where each stage's group starts at its own base.
+func NewProcAt(w *dist.Worker, p, base int) *Proc {
 	ranks := make([]int, p)
 	for i := range ranks {
-		ranks[i] = i
+		ranks[i] = base + i
 	}
 	g := w.Cluster().Group(ranks...)
 	idx := g.Index(w.Rank())
 	if idx < 0 {
-		panic(fmt.Sprintf("megatron: rank %d outside tensor-parallel group of %d", w.Rank(), p))
+		panic(fmt.Sprintf("megatron: rank %d outside tensor-parallel group [%d,%d)", w.Rank(), base, base+p))
 	}
 	return &Proc{W: w, P: p, Rank: idx, TP: g}
 }

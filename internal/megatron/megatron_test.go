@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
 )
@@ -99,9 +100,9 @@ func TestMLPMatchesSerial(t *testing.T) {
 			ys := testutil.NewCollector()
 			dxs := testutil.NewCollector()
 			runTP(t, tp, func(mp *Proc) error {
-				m := NewMLP(mp, h, tensor.NewRNG(13))
-				y := m.Forward(mp, x)
-				dx := m.Backward(mp, dy)
+				m := newMLP(mp, h, tensor.NewRNG(13))
+				y := m.Forward(x)
+				dx := m.Backward(dy)
 				ys.Put(mp.W.Rank(), y)
 				dxs.Put(mp.W.Rank(), dx)
 				return nil
@@ -158,12 +159,13 @@ func TestBlockMatchesSerial(t *testing.T) {
 
 			ys := testutil.NewCollector()
 			dxs := testutil.NewCollector()
-			runTP(t, tp, func(mp *Proc) error {
-				b := NewBlock(mp, h, heads, seqLen, tensor.NewRNG(19))
-				y := b.Forward(mp, x)
-				dx := b.Backward(mp, dy)
-				ys.Put(mp.W.Rank(), y)
-				dxs.Put(mp.W.Rank(), dx)
+			testutil.Run(t, tp, func(w *dist.Worker) error {
+				f := NewFamily(w, tp)
+				b := f.NewBlock(h, heads, seqLen, tensor.NewRNG(19))
+				y := b.Forward(x)
+				dx := b.Backward(dy)
+				ys.Put(w.Rank(), y)
+				dxs.Put(w.Rank(), dx)
 				return nil
 			})
 			for r := 0; r < tp; r++ {
@@ -181,11 +183,11 @@ func TestBlockAllReduceCount(t *testing.T) {
 	const h, heads, seqLen, rows, tp = 8, 4, 2, 8, 4
 	c := dist.New(dist.Config{WorldSize: tp})
 	if err := c.Run(func(w *dist.Worker) error {
-		mp := NewProc(w, tp)
-		b := NewBlockPhantom(mp, h, heads, seqLen)
+		f := NewFamily(w, tp)
+		b := f.NewBlockPhantom(h, heads, seqLen)
 		x := tensor.NewPhantom(rows, h)
-		y := b.Forward(mp, x)
-		b.Backward(mp, y)
+		y := b.Forward(x)
+		b.Backward(y)
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -201,18 +203,18 @@ func TestPhantomMatchesRealClock(t *testing.T) {
 	clock := func(phantom bool) float64 {
 		c := dist.New(dist.Config{WorldSize: tp})
 		if err := c.Run(func(w *dist.Worker) error {
-			mp := NewProc(w, tp)
-			var b *Block
+			f := NewFamily(w, tp)
+			var b parallel.Layer
 			var x *tensor.Matrix
 			if phantom {
-				b = NewBlockPhantom(mp, h, heads, seqLen)
+				b = f.NewBlockPhantom(h, heads, seqLen)
 				x = tensor.NewPhantom(rows, h)
 			} else {
-				b = NewBlock(mp, h, heads, seqLen, tensor.NewRNG(23))
+				b = f.NewBlock(h, heads, seqLen, tensor.NewRNG(23))
 				x = tensor.RandomMatrix(rows, h, tensor.NewRNG(29))
 			}
-			y := b.Forward(mp, x)
-			b.Backward(mp, y)
+			y := b.Forward(x)
+			b.Backward(y)
 			return nil
 		}); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,52 @@
+package optimus
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/mesh"
+	"repro/internal/parallel"
+	"repro/internal/tesseract"
+)
+
+func init() {
+	parallel.RegisterCheck("optimus", func(l parallel.Layout) error {
+		if l.Q < 1 {
+			return fmt.Errorf("optimus: layout %s needs a mesh dimension q", l)
+		}
+		if l.D > 1 {
+			return fmt.Errorf("optimus: 2-D family cannot take depth %d", l.D)
+		}
+		return nil
+	})
+	parallel.Register("optimus", func(w *dist.Worker, l parallel.Layout) (parallel.Family, error) {
+		return newFamily(w, l), nil
+	})
+}
+
+// Family is Optimus' implementation of the family-agnostic model layer.
+// Optimus is exactly the d = 1 special case of Tesseract, so the family
+// embeds a depth-1 Tesseract family and differs only in its name and
+// layout — the same first-class delegation the planner descriptor uses,
+// now shared by models, trainers and the experiment harness.
+type Family struct {
+	*tesseract.Family
+	layout parallel.Layout
+}
+
+// NewFamily attaches the calling worker to a q×q mesh based at rank 0 and
+// returns the family view.
+func NewFamily(w *dist.Worker, q int) *Family {
+	return newFamily(w, parallel.Layout{Family: "optimus", Q: q, D: 1, Ranks: q * q})
+}
+
+func newFamily(w *dist.Worker, l parallel.Layout) *Family {
+	inner := tesseract.NewFamilyAt(w, mesh.Shape{Q: l.Q, D: 1, Base: l.Base})
+	return &Family{Family: inner, layout: l}
+}
+
+// Name returns "optimus".
+func (f *Family) Name() string { return "optimus" }
+
+// Layout returns the 2-D mesh layout.
+func (f *Family) Layout() parallel.Layout { return f.layout }

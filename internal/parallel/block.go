@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"repro/internal/compute"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Block is the shared Transformer-layer composition every family reuses:
+// z = LN₂(y + MLP(y)) with y = LN₁(x + Attn(x)), the paper's
+// residual-plus-layer-norm structure. Residual adds are local in every
+// family — Tesseract adds local blocks (§3.2.2), Megatron adds replicated
+// activations — so one composition serves all of them; only the four
+// sub-layers differ.
+//
+// The residual sums are transient workspace scratch (the layer norms of
+// every family do not retain their inputs), while the sub-layer
+// activations ride to the step boundary. Backward always draws its result
+// from the worker's workspace, so the caller owns the returned gradient
+// buffer; gradient intermediates produced by the sub-layers are left to
+// their family's own lifetime regime (Tesseract's specialised
+// tesseract.Block recycles them eagerly; families composed here simply
+// let theirs reach the step boundary or the garbage collector).
+type Block struct {
+	// H is the full hidden width.
+	H int
+
+	// Attn, Ln1, Mlp, Ln2 are the family's sub-layers.
+	Attn, Ln1, Mlp, Ln2 Layer
+
+	w *dist.Worker
+}
+
+// NewBlock composes a Transformer block from a family's sub-layers.
+//
+// Contract on ln1/ln2, stricter than the general Layer contract: their
+// Forward must NOT retain its input. The composition hands each layer
+// norm a transient residual buffer and recycles it the moment Forward
+// returns, so a norm that saves x (instead of derived statistics, as
+// nn.LayerNorm and tesseract.LayerNorm both do — they keep x̂ and 1/σ)
+// would see its saved activation overwritten before the backward pass.
+func NewBlock(w *dist.Worker, h int, attn, ln1, mlp, ln2 Layer) *Block {
+	return &Block{H: h, Attn: attn, Ln1: ln1, Mlp: mlp, Ln2: ln2, w: w}
+}
+
+// Params returns the shards this rank owns, in the serial parameter order
+// (attention, then MLP; the layer norms are parameter-free).
+func (b *Block) Params() []*nn.Param {
+	out := append(b.Attn.Params(), b.Ln1.Params()...)
+	out = append(out, b.Mlp.Params()...)
+	return append(out, b.Ln2.Params()...)
+}
+
+// Forward computes the block output on this rank's activation blocks.
+func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
+	ws := b.w.Workspace()
+	attn := b.Attn.Forward(x)
+	r1 := ws.GetUninitMatch(x.Rows, x.Cols, x.Phantom() || attn.Phantom())
+	compute.AddTo(b.w, r1, x, attn)
+	y := b.Ln1.Forward(r1)
+	ws.Put(r1)
+	mlp := b.Mlp.Forward(y)
+	r2 := ws.GetUninitMatch(y.Rows, y.Cols, y.Phantom() || mlp.Phantom())
+	compute.AddTo(b.w, r2, y, mlp)
+	z := b.Ln2.Forward(r2)
+	ws.Put(r2)
+	return z
+}
+
+// Backward propagates through the block and returns the input gradient, a
+// workspace buffer owned by the caller.
+func (b *Block) Backward(dz *tensor.Matrix) *tensor.Matrix {
+	ws := b.w.Workspace()
+	dr2 := b.Ln2.Backward(dz)
+	dmlp := b.Mlp.Backward(dr2)
+	dy := ws.GetUninitMatch(dr2.Rows, dr2.Cols, dr2.Phantom() || dmlp.Phantom())
+	compute.AddTo(b.w, dy, dr2, dmlp)
+	dr1 := b.Ln1.Backward(dy)
+	ws.Put(dy)
+	dattn := b.Attn.Backward(dr1)
+	dx := ws.GetUninitMatch(dr1.Rows, dr1.Cols, dr1.Phantom() || dattn.Phantom())
+	compute.AddTo(b.w, dx, dr1, dattn)
+	return dx
+}

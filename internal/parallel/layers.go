@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"repro/internal/compute"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ReplicatedLinear is a serial nn.Linear computed redundantly on every
+// rank of a family whose input is replicated, with the arithmetic charged
+// to the simulated clock. Every family's classifier head is one of these
+// (replicated pooled features in, replicated logits out, parameters
+// bit-identical across ranks because the inputs are); Megatron also uses
+// it for the patch embedding, since its activations are replicated
+// everywhere.
+type ReplicatedLinear struct {
+	*nn.Linear
+	w *dist.Worker
+}
+
+// NewReplicatedLinear draws the full weight from rng (the serial stream)
+// and replicates it on the calling rank.
+func NewReplicatedLinear(w *dist.Worker, in, out int, act nn.Activation, bias bool, rng *tensor.RNG) *ReplicatedLinear {
+	return &ReplicatedLinear{Linear: nn.NewLinear(in, out, act, bias, rng), w: w}
+}
+
+// Forward charges the GEMM and applies the serial layer.
+func (l *ReplicatedLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.w.ChargeGEMM(float64(x.Rows), float64(l.Out), float64(l.In))
+	return l.Linear.Forward(x)
+}
+
+// Backward charges the two gradient GEMMs and applies the serial layer.
+func (l *ReplicatedLinear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	l.w.ChargeGEMM(float64(dy.Rows), float64(l.Out), float64(l.In))
+	l.w.ChargeGEMM(float64(dy.Rows), float64(l.In), float64(l.Out))
+	return l.Linear.Backward(dy)
+}
+
+// ReplicatedLayerNorm is the serial nn.LayerNorm computed redundantly on a
+// replicated activation, with the normalisation flops charged to the
+// simulated clock — the pattern Megatron uses for its un-sharded layer
+// norms, hoisted here so no family needs its own thin wrapper.
+type ReplicatedLayerNorm struct {
+	w     *dist.Worker
+	inner *nn.LayerNorm
+}
+
+// NewReplicatedLayerNorm builds the replicated layer norm over width h.
+func NewReplicatedLayerNorm(w *dist.Worker, h int) *ReplicatedLayerNorm {
+	return &ReplicatedLayerNorm{w: w, inner: nn.NewLayerNorm(h)}
+}
+
+// Forward normalises the replicated activation.
+func (l *ReplicatedLayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.w.Compute(float64(x.Size()) * (compute.FlopsPerNorm + 2))
+	return l.inner.Forward(x)
+}
+
+// Backward applies Eq. 14 on the replicated gradient.
+func (l *ReplicatedLayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	l.w.Compute(float64(dy.Size()) * (compute.FlopsPerNorm + 2))
+	return l.inner.Backward(dy)
+}
+
+// Params returns nil: Eq. 13 normalisation is parameter-free.
+func (l *ReplicatedLayerNorm) Params() []*nn.Param { return nil }
+
+// Sequence chains layers: Forward applies them left to right, Backward
+// right to left. Megatron's MLP is a Sequence of its column- and
+// row-parallel linears.
+type Sequence struct {
+	layers []Layer
+}
+
+// NewSequence builds the chain.
+func NewSequence(layers ...Layer) *Sequence { return &Sequence{layers: layers} }
+
+// Forward applies every layer in order.
+func (s *Sequence) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates in reverse order.
+func (s *Sequence) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dy = s.layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params concatenates the chain's parameters in layer order.
+func (s *Sequence) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package plan
+
+import (
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+// Layout converts a ranked candidate into the runtime layout its family
+// registers with the parallel package — the bridge that closes the
+// plan→run gap: a grid the search can rank is a layout the runtime can
+// build.
+func (p Plan) Layout() parallel.Layout {
+	return parallel.Layout{Family: p.Family, Q: p.Grid.Q, D: p.Grid.D, Ranks: p.Grid.Ranks}
+}
+
+// Instantiate binds the calling worker to the plan's processor layout and
+// returns the family's model layer, ready to train: Search, Instantiate,
+// build a model, step. Every rank of a cluster sized Grid.Ranks must call
+// it collectively. The plan's family package must be imported so its
+// constructor is registered.
+func (p Plan) Instantiate(w *dist.Worker) (parallel.Family, error) {
+	return parallel.New(w, p.Layout())
+}

@@ -53,7 +53,7 @@ func overlapRow(row Row, opts Options) (OverlapPoint, error) {
 	})
 	runners := make([]blockRunner, row.GPUs)
 	if err := c.Run(func(w *dist.Worker) error {
-		r, err := newTesseractRunner(row, opts, w)
+		r, err := newRunner(row, opts, w)
 		if err != nil {
 			return err
 		}

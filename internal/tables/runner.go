@@ -4,11 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
-	"repro/internal/megatron"
-	"repro/internal/mesh"
-	"repro/internal/optimus"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
-	"repro/internal/tesseract"
 )
 
 // Options controls how the harness executes a row.
@@ -115,158 +112,89 @@ func RunRow(row Row, opts Options) (Result, error) {
 	return newResult(row.Batch, fwd, bwd), nil
 }
 
-func newRunner(row Row, opts Options, w *dist.Worker) (blockRunner, error) {
+// LayoutForRow converts a table row into the runtime layout its scheme
+// registers with the parallel package, validating the processor count.
+func LayoutForRow(row Row) (parallel.Layout, error) {
+	var l parallel.Layout
 	switch row.Scheme {
 	case Megatron:
-		return newMegatronRunner(row, opts, w)
+		l = parallel.Layout{Family: "megatron", Ranks: row.GPUs}
 	case Optimus:
-		return newOptimusRunner(row, opts, w)
+		l = parallel.Layout{Family: "optimus", Q: row.Q}
 	case Tesseract:
-		return newTesseractRunner(row, opts, w)
+		l = parallel.Layout{Family: "tesseract", Q: row.Q, D: row.D}
 	default:
-		return nil, fmt.Errorf("tables: unknown scheme %q", row.Scheme)
+		return l, fmt.Errorf("tables: unknown scheme %q", row.Scheme)
 	}
+	l, err := l.Normalize()
+	if err != nil {
+		return l, err
+	}
+	if l.Ranks != row.GPUs {
+		return l, fmt.Errorf("tables: shape %s has %d processors, row says %d", row.Shape(), l.Ranks, row.GPUs)
+	}
+	return l, nil
 }
 
-// --- Tesseract -------------------------------------------------------------
-
-type tesseractRunner struct {
-	p      *tesseract.Proc
-	blocks []*tesseract.Block
+// familyRunner drives a layer stack of any family through the timing
+// scaffold: the schemes differ only in the parallel.Family they
+// instantiate, which is the whole point of the interface.
+type familyRunner struct {
+	f      parallel.Family
+	blocks []parallel.Layer
 	x, dy  *tensor.Matrix
 	out    []*tensor.Matrix
 }
 
-func newTesseractRunner(row Row, opts Options, w *dist.Worker) (*tesseractRunner, error) {
-	s := mesh.Shape{Q: row.Q, D: row.D}
-	if s.Size() != row.GPUs {
-		return nil, fmt.Errorf("tables: shape %s has %d processors, row says %d", row.Shape(), s.Size(), row.GPUs)
+func newRunner(row Row, opts Options, w *dist.Worker) (blockRunner, error) {
+	l, err := LayoutForRow(row)
+	if err != nil {
+		return nil, err
 	}
-	p := tesseract.NewProcAt(w, s)
-	rows := row.Batch * opts.SeqLen / (row.Q * row.D)
-	cols := row.Hidden / row.Q
-	r := &tesseractRunner{p: p}
-	for l := 0; l < opts.Layers; l++ {
+	f, err := parallel.New(w, l)
+	if err != nil {
+		return nil, err
+	}
+	r := &familyRunner{f: f}
+	for i := 0; i < opts.Layers; i++ {
 		if opts.Real {
-			r.blocks = append(r.blocks, tesseract.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
+			r.blocks = append(r.blocks, f.NewBlock(row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(i))))
 		} else {
-			r.blocks = append(r.blocks, tesseract.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
+			r.blocks = append(r.blocks, f.NewBlockPhantom(row.Hidden, row.Heads, opts.SeqLen))
 		}
 	}
+	sl := f.Slice(row.Batch*opts.SeqLen, row.Hidden)
 	if opts.Real {
-		r.x = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+100+uint64(w.Rank())))
-		r.dy = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+200+uint64(w.Rank())))
+		// Replicated activations (Megatron) must be identical on every
+		// rank; split activations get independent per-rank blocks.
+		seed := opts.Seed
+		if sl.Rows != row.Batch*opts.SeqLen || sl.Cols != row.Hidden {
+			seed += uint64(w.Rank())
+		}
+		r.x = tensor.RandomMatrix(sl.Rows, sl.Cols, tensor.NewRNG(seed+100))
+		r.dy = tensor.RandomMatrix(sl.Rows, sl.Cols, tensor.NewRNG(seed+200))
 	} else {
-		r.x = tensor.NewPhantom(rows, cols)
-		r.dy = tensor.NewPhantom(rows, cols)
+		r.x = tensor.NewPhantom(sl.Rows, sl.Cols)
+		r.dy = tensor.NewPhantom(sl.Rows, sl.Cols)
 	}
 	return r, nil
 }
 
-func (r *tesseractRunner) forward() {
+func (r *familyRunner) forward() {
 	x := r.x
 	for _, b := range r.blocks {
-		x = b.Forward(r.p, x)
+		x = b.Forward(x)
 	}
 	r.out = append(r.out[:0], x)
 }
 
-func (r *tesseractRunner) backward() {
+func (r *familyRunner) backward() {
 	dy := r.dy
 	for i := len(r.blocks) - 1; i >= 0; i-- {
-		dy = r.blocks[i].Backward(r.p, dy)
+		dy = r.blocks[i].Backward(dy)
 	}
-	// The depth all-reduces overlap the per-layer backward work; the row
-	// reports the time with that overlap, so drain inside the timed phase.
-	r.p.DrainGradients()
-}
-
-// --- Optimus ---------------------------------------------------------------
-
-type optimusRunner struct {
-	p      *optimus.Proc
-	blocks []*optimus.Block
-	x, dy  *tensor.Matrix
-}
-
-func newOptimusRunner(row Row, opts Options, w *dist.Worker) (*optimusRunner, error) {
-	if row.Q*row.Q != row.GPUs {
-		return nil, fmt.Errorf("tables: Optimus shape %s has %d processors, row says %d", row.Shape(), row.Q*row.Q, row.GPUs)
-	}
-	p := optimus.NewProc(w, row.Q)
-	rows := row.Batch * opts.SeqLen / row.Q
-	cols := row.Hidden / row.Q
-	r := &optimusRunner{p: p}
-	for l := 0; l < opts.Layers; l++ {
-		if opts.Real {
-			r.blocks = append(r.blocks, optimus.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
-		} else {
-			r.blocks = append(r.blocks, optimus.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
-		}
-	}
-	if opts.Real {
-		r.x = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+100+uint64(w.Rank())))
-		r.dy = tensor.RandomMatrix(rows, cols, tensor.NewRNG(opts.Seed+200+uint64(w.Rank())))
-	} else {
-		r.x = tensor.NewPhantom(rows, cols)
-		r.dy = tensor.NewPhantom(rows, cols)
-	}
-	return r, nil
-}
-
-func (r *optimusRunner) forward() {
-	x := r.x
-	for _, b := range r.blocks {
-		x = b.Forward(r.p, x)
-	}
-}
-
-func (r *optimusRunner) backward() {
-	dy := r.dy
-	for i := len(r.blocks) - 1; i >= 0; i-- {
-		dy = r.blocks[i].Backward(r.p, dy)
-	}
-}
-
-// --- Megatron --------------------------------------------------------------
-
-type megatronRunner struct {
-	p      *megatron.Proc
-	blocks []*megatron.Block
-	x, dy  *tensor.Matrix
-}
-
-func newMegatronRunner(row Row, opts Options, w *dist.Worker) (*megatronRunner, error) {
-	p := megatron.NewProc(w, row.GPUs)
-	rows := row.Batch * opts.SeqLen // activations fully replicated
-	r := &megatronRunner{p: p}
-	for l := 0; l < opts.Layers; l++ {
-		if opts.Real {
-			r.blocks = append(r.blocks, megatron.NewBlock(p, row.Hidden, row.Heads, opts.SeqLen, tensor.NewRNG(opts.Seed+uint64(l))))
-		} else {
-			r.blocks = append(r.blocks, megatron.NewBlockPhantom(p, row.Hidden, row.Heads, opts.SeqLen))
-		}
-	}
-	if opts.Real {
-		r.x = tensor.RandomMatrix(rows, row.Hidden, tensor.NewRNG(opts.Seed+100))
-		r.dy = tensor.RandomMatrix(rows, row.Hidden, tensor.NewRNG(opts.Seed+200))
-	} else {
-		r.x = tensor.NewPhantom(rows, row.Hidden)
-		r.dy = tensor.NewPhantom(rows, row.Hidden)
-	}
-	return r, nil
-}
-
-func (r *megatronRunner) forward() {
-	x := r.x
-	for _, b := range r.blocks {
-		x = b.Forward(r.p, x)
-	}
-}
-
-func (r *megatronRunner) backward() {
-	dy := r.dy
-	for i := len(r.blocks) - 1; i >= 0; i-- {
-		dy = r.blocks[i].Backward(r.p, dy)
-	}
+	// Deferred gradient synchronisations (Tesseract's §3.1 depth
+	// all-reduces) overlap the per-layer backward work; the row reports
+	// the time with that overlap, so drain inside the timed phase.
+	r.f.DrainGradients()
 }

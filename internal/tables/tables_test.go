@@ -347,3 +347,21 @@ func TestOverlapStudy(t *testing.T) {
 		}
 	}
 }
+
+func TestFamilyParityStudy(t *testing.T) {
+	points, err := FamilyParityStudy(DefaultFamilyLayouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(points))
+	}
+	for _, p := range points {
+		if p.MaxDiffY > 1e-9 || p.MaxDiffDx > 1e-9 {
+			t.Errorf("%s diverged from serial: |Δy|=%g |Δdx|=%g", p.Layout, p.MaxDiffY, p.MaxDiffDx)
+		}
+		if p.SimSeconds <= 0 || p.Bytes <= 0 {
+			t.Errorf("%s reported no simulated cost (%gs, %dB)", p.Layout, p.SimSeconds, p.Bytes)
+		}
+	}
+}

@@ -5,17 +5,17 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
-	"repro/internal/tesseract"
 )
 
 // StepBencher drives repeated training steps of the distributed ViT on one
-// persistent [q, q, d] cluster, so benchmarks and leak tests can separate
-// model construction and warm-up from the steady-state step they measure.
-// The same fixed batch is used for every step.
+// persistent cluster under any registered family, so benchmarks and leak
+// tests can separate model construction and warm-up from the steady-state
+// step they measure. The same fixed batch is used for every step.
 type StepBencher struct {
 	c      *dist.Cluster
-	procs  []*tesseract.Proc
+	fams   []parallel.Family
 	models []*DistModel
 	opts   []*nn.Adam
 
@@ -26,15 +26,19 @@ type StepBencher struct {
 
 // NewStepBencher builds the cluster, the per-rank models and optimisers, and
 // runs warmup steps so pools, caches and optimiser state reach steady state.
-func NewStepBencher(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig, warmup int) (*StepBencher, error) {
+func NewStepBencher(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc TrainConfig, warmup int) (*StepBencher, error) {
 	tc = tc.withDefaults()
-	if tc.BatchSize%(q*d) != 0 {
-		return nil, fmt.Errorf("vit: batch %d not divisible by d*q = %d", tc.BatchSize, q*d)
+	l, err := parallel.Validate(l)
+	if err != nil {
+		return nil, err
 	}
-	world := q * q * d
+	if tc.BatchSize%l.RowShards() != 0 {
+		return nil, fmt.Errorf("vit: batch %d not divisible by %s's %d row shards", tc.BatchSize, l, l.RowShards())
+	}
+	world := l.Ranks
 	sb := &StepBencher{
 		c:      dist.New(dist.Config{WorldSize: world}),
-		procs:  make([]*tesseract.Proc, world),
+		fams:   make([]parallel.Family, world),
 		models: make([]*DistModel, world),
 		opts:   make([]*nn.Adam, world),
 		s:      mcfg.SeqLen,
@@ -44,10 +48,13 @@ func NewStepBencher(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig, war
 		idx[i] = i % len(ds.Train)
 	}
 	sb.x, sb.labels = ds.Batch(ds.Train, idx)
-	err := sb.c.Run(func(w *dist.Worker) error {
-		p := tesseract.NewProc(w, q, d)
-		sb.procs[w.Rank()] = p
-		sb.models[w.Rank()] = NewDistModel(p, mcfg)
+	err = sb.c.Run(func(w *dist.Worker) error {
+		f, err := parallel.New(w, l)
+		if err != nil {
+			return err
+		}
+		sb.fams[w.Rank()] = f
+		sb.models[w.Rank()] = NewDistModel(f, mcfg)
 		sb.opts[w.Rank()] = nn.NewAdam(tc.LR, tc.WeightDecay)
 		return nil
 	})
@@ -66,20 +73,19 @@ func NewStepBencher(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig, war
 // update, workspace release) on every rank within a single cluster run.
 func (sb *StepBencher) Steps(n int) error {
 	return sb.c.Run(func(w *dist.Worker) error {
-		p := sb.procs[w.Rank()]
+		f := sb.fams[w.Rank()]
 		model := sb.models[w.Rank()]
 		opt := sb.opts[w.Rank()]
 		params := model.Params()
-		ws := w.Workspace()
 		for i := 0; i < n; i++ {
-			logits := model.Forward(p, DistributeBatch(p, sb.x, sb.s))
+			logits := model.Forward(DistributeBatch(f, sb.x, sb.s))
 			_, dl := nn.CrossEntropy(logits, sb.labels)
 			for _, pa := range params {
 				pa.ZeroGrad()
 			}
-			model.Backward(p, dl)
+			model.Backward(dl)
 			opt.Step(params)
-			ws.ReleaseAll()
+			f.EndStep()
 		}
 		return nil
 	})

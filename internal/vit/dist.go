@@ -5,43 +5,41 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
-	"repro/internal/tesseract"
 )
 
-// DistModel is the Tesseract-parallel ViT. The patch embedding and the
-// encoder stack are fully distributed (A-distributed activations,
-// B-distributed weights); the tiny classification head is computed
-// redundantly on every processor from the all-gathered pooled features —
-// the standard treatment for heads whose cost is negligible, which keeps
-// the head parameters replicated and bit-identical across processors.
+// DistModel is the distributed ViT over any tensor-parallel family: the
+// patch embedding and the encoder stack are family-distributed (Tesseract
+// A-distributed blocks, Megatron replicated activations — the model never
+// knows which); the tiny classification head is computed redundantly on
+// every processor from the gathered pooled features — the standard
+// treatment for heads whose cost is negligible, which keeps the head
+// parameters replicated and bit-identical across processors.
 type DistModel struct {
 	Config ModelConfig
+	F      parallel.Family
 
-	Embed  *tesseract.Linear
+	Embed  parallel.Layer
 	Pos    *tensor.Matrix // full [s, hidden]; sliced locally on use
-	Blocks []*tesseract.Block
-	Head   *nn.Linear // replicated
+	Blocks []parallel.Layer
+	Head   *parallel.ReplicatedLinear
 
 	batch  int
 	pooled *tensor.Matrix // replicated [b, hidden]
 }
 
 // NewDistModel draws parameters from the same stream as NewModel, so the
-// distributed weights shard the serial model's weights exactly.
-func NewDistModel(p *tesseract.Proc, cfg ModelConfig) *DistModel {
-	q := p.Shape.Q
-	if cfg.PatchDim%q != 0 || cfg.Hidden%q != 0 || cfg.Heads%q != 0 {
-		panic(fmt.Sprintf("vit: config (patchDim=%d hidden=%d heads=%d) not divisible by q=%d",
-			cfg.PatchDim, cfg.Hidden, cfg.Heads, q))
-	}
+// distributed weights shard (or replicate) the serial model's weights
+// exactly, whatever the family.
+func NewDistModel(f parallel.Family, cfg ModelConfig) *DistModel {
 	rng := tensor.NewRNG(cfg.Seed)
-	m := &DistModel{Config: cfg, Pos: cfg.Positional()}
-	m.Embed = tesseract.NewLinear(p, cfg.PatchDim, cfg.Hidden, nn.ActNone, true, rng)
+	m := &DistModel{Config: cfg, F: f, Pos: cfg.Positional()}
+	m.Embed = f.NewLinear(cfg.PatchDim, cfg.Hidden, nn.ActNone, true, rng)
 	for i := 0; i < cfg.Layers; i++ {
-		m.Blocks = append(m.Blocks, tesseract.NewBlock(p, cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
+		m.Blocks = append(m.Blocks, f.NewBlock(cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
 	}
-	m.Head = nn.NewLinear(cfg.Hidden, cfg.Classes, nn.ActNone, true, rng)
+	m.Head = parallel.NewReplicatedLinear(f.Worker(), cfg.Hidden, cfg.Classes, nn.ActNone, true, rng)
 	return m
 }
 
@@ -54,78 +52,67 @@ func (m *DistModel) Params() []*nn.Param {
 	return append(out, m.Head.Params()...)
 }
 
-// Forward maps the local token block [b·s/(dq), patchDim/q] to replicated
-// logits [b, classes]. Intermediates come from the worker's workspace; the
-// trainer releases them at each step boundary.
-func (m *DistModel) Forward(p *tesseract.Proc, x *tensor.Matrix) *tensor.Matrix {
-	ws := p.W.Workspace()
+// Forward maps the local token block to replicated logits [b, classes].
+// Intermediates come from the worker's workspace; the trainer releases
+// them at each step boundary (Family.EndStep).
+func (m *DistModel) Forward(x *tensor.Matrix) *tensor.Matrix {
+	w, ws := m.F.Worker(), m.F.Worker().Workspace()
 	s := m.Config.SeqLen
-	h := m.Embed.Forward(p, x)
-	h = m.addPositionalLocal(p, h)
+	h := m.Embed.Forward(x)
+	h = m.addPositionalLocal(h)
 	for _, b := range m.Blocks {
-		h = b.Forward(p, h)
+		h = b.Forward(h)
 	}
-	p.W.Compute(float64(h.Size()))
+	w.Compute(float64(h.Size()))
 	pooledLocal := ws.GetUninit(h.Rows/s, h.Cols)
 	meanPoolInto(pooledLocal, h, s)
-	// Gather the pooled features straight into packed destinations: hidden
-	// columns along the grid row, sequence blocks along the slab —
-	// afterwards every processor holds the full [b, hidden] matrix,
-	// identically. AllGatherInto reads every member's block before
-	// returning (no snapshots, no gathered-slice allocation), so the
-	// sources recycle immediately.
-	wide := ws.GetUninit(pooledLocal.Rows, p.Row.Size()*pooledLocal.Cols)
-	p.Row.AllGatherInto(p.W, pooledLocal, wide)
-	ws.Put(pooledLocal)
-	m.pooled = ws.GetUninit(p.Slab.Size()*wide.Rows, wide.Cols)
-	p.Slab.AllGatherInto(p.W, wide, m.pooled)
-	ws.Put(wide)
+	// The family gathers the pooled features into the full replicated
+	// [b, hidden] matrix (ownership of pooledLocal transfers to it); for
+	// replicated-activation families this is the identity.
+	m.pooled = m.F.GatherPooled(pooledLocal)
 	m.batch = m.pooled.Rows
-	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
 	return m.Head.Forward(m.pooled)
 }
 
 // Backward takes the replicated dLogits and propagates to all shards.
-func (m *DistModel) Backward(p *tesseract.Proc, dlogits *tensor.Matrix) {
-	ws := p.W.Workspace()
-	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Classes), float64(m.Config.Hidden))
-	p.W.ChargeGEMM(float64(m.batch), float64(m.Config.Hidden), float64(m.Config.Classes))
+func (m *DistModel) Backward(dlogits *tensor.Matrix) {
+	ws := m.F.Worker().Workspace()
 	dpooled := m.Head.Backward(dlogits) // replicated [b, hidden]
 
-	// Slice this processor's sequences and hidden columns back out.
+	// Slice this processor's share of the pooled gradient back out.
 	s := m.Config.SeqLen
-	q, d := p.Shape.Q, p.Shape.D
-	nseqLocal := m.batch / (q * d)
-	hq := m.Config.Hidden / q
-	local := ws.GetUninit(nseqLocal, hq)
-	tensor.SubMatrixInto(local, dpooled, p.BlockRow()*nseqLocal, p.J*hq)
-	dh := ws.GetUninit(nseqLocal*s, hq)
+	sl := m.F.Slice(m.batch, m.Config.Hidden)
+	local := ws.GetUninit(sl.Rows, sl.Cols)
+	tensor.SubMatrixInto(local, dpooled, sl.Row0, sl.Col0)
+	dh := ws.GetUninit(sl.Rows*s, sl.Cols)
 	meanPoolBackwardInto(dh, local, s)
 	ws.Put(local)
-	p.W.Compute(float64(dh.Size()))
+	m.F.Worker().Compute(float64(dh.Size()))
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
 		prev := dh
-		dh = m.Blocks[i].Backward(p, prev)
+		dh = m.Blocks[i].Backward(prev)
 		ws.Put(prev)
 	}
-	dx := m.Embed.Backward(p, dh)
-	ws.Put(dh, dx)
-	// Complete the depth all-reduces the layers queued: after this every
-	// parameter gradient is final and the optimiser may step.
-	p.DrainGradients()
+	m.Embed.Backward(dh)
+	ws.Put(dh)
+	// Complete the gradient synchronisations the layers deferred: after
+	// this every parameter gradient is final and the optimiser may step.
+	m.F.DrainGradients()
 }
 
-// addPositionalLocal adds the local slice of the fixed positional encoding:
-// local row r is sequence position r mod s; local columns are the J-th
-// hidden block. The result is a workspace buffer (the embedding output is
+// addPositionalLocal adds this processor's slice of the fixed positional
+// encoding: the family's Slice reports which rows (whole sequences, so the
+// row offset is a multiple of s) and which hidden columns the local block
+// holds. The result is a workspace buffer (the embedding output is
 // retained by the embedding layer and must not be mutated).
-func (m *DistModel) addPositionalLocal(p *tesseract.Proc, h *tensor.Matrix) *tensor.Matrix {
+func (m *DistModel) addPositionalLocal(h *tensor.Matrix) *tensor.Matrix {
 	s := m.Config.SeqLen
-	hq := m.Config.Hidden / p.Shape.Q
-	p.W.Compute(float64(h.Size()) * compute.FlopsPerAdd)
-	out := p.W.Workspace().GetUninit(h.Rows, h.Cols)
+	sl := m.F.Slice(h.Rows*m.F.RowShards(), m.Config.Hidden)
+	w := m.F.Worker()
+	w.Compute(float64(h.Size()) * compute.FlopsPerAdd)
+	out := w.Workspace().GetUninit(h.Rows, h.Cols)
 	for r := 0; r < h.Rows; r++ {
-		prow := m.Pos.Row(r % s)[p.J*hq : (p.J+1)*hq]
+		prow := m.Pos.Row((sl.Row0 + r) % s)[sl.Col0 : sl.Col0+h.Cols]
 		hrow := h.Row(r)
 		orow := out.Row(r)
 		for j := range orow {
@@ -136,12 +123,14 @@ func (m *DistModel) addPositionalLocal(p *tesseract.Proc, h *tensor.Matrix) *ten
 }
 
 // DistributeBatch slices a global token matrix [b·s, patchDim] into this
-// processor's A block. Whole sequences land on one processor, which requires
-// b to divide by d·q.
-func DistributeBatch(p *tesseract.Proc, x *tensor.Matrix, s int) *tensor.Matrix {
+// processor's block. Whole sequences land on one processor, which requires
+// b to divide by the family's row-shard count (d·q for Tesseract, 1 for
+// replicated-activation families).
+func DistributeBatch(f parallel.Family, x *tensor.Matrix, s int) *tensor.Matrix {
 	b := x.Rows / s
-	if b%(p.Shape.Q*p.Shape.D) != 0 {
-		panic(fmt.Sprintf("vit: batch %d not divisible by d*q = %d", b, p.Shape.Q*p.Shape.D))
+	if b%f.RowShards() != 0 {
+		panic(fmt.Sprintf("vit: batch %d not divisible by the %s family's %d row shards",
+			b, f.Name(), f.RowShards()))
 	}
-	return p.DistributeA(x)
+	return f.Distribute(x)
 }

@@ -67,9 +67,9 @@ func TestEvalDistCoversTail(t *testing.T) {
 			accs := make([]float64, sh.q*sh.q*sh.d)
 			c := dist.New(dist.Config{WorldSize: sh.q * sh.q * sh.d})
 			err := c.Run(func(w *dist.Worker) error {
-				p := tesseract.NewProc(w, sh.q, sh.d)
-				model := NewDistModel(p, mcfg)
-				accs[w.Rank()] = evalDist(p, model, ds, batch, mcfg.SeqLen)
+				f := tesseract.NewFamily(w, sh.q, sh.d)
+				model := NewDistModel(f, mcfg)
+				accs[w.Rank()] = evalDist(f, model, ds, batch, mcfg.SeqLen)
 				return nil
 			})
 			if err != nil {

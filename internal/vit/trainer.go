@@ -5,8 +5,12 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
-	"repro/internal/tesseract"
+
+	// TrainTesseract names the tesseract family, so this package links it;
+	// other families register through the caller's imports.
+	_ "repro/internal/tesseract"
 )
 
 // TrainConfig controls a Figure 7 training run. The paper uses Adam with
@@ -106,31 +110,37 @@ func evalSerial(model *Model, ds *Dataset, batch int) float64 {
 	return float64(correct) / float64(n)
 }
 
-// TrainTesseract trains the same model under a [q, q, d] Tesseract mesh and
-// returns its curve. With the same dataset, seeds and optimiser the curve
-// must coincide with TrainSerial's up to floating-point reduction order —
-// the Figure 7 claim.
-func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (History, error) {
+// TrainLayout trains the same model under any registered tensor-parallel
+// family and returns its curve. With the same dataset, seeds and optimiser
+// the curve must coincide with TrainSerial's up to floating-point reduction
+// order — the Figure 7 claim, now checkable for every family.
+func TrainLayout(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (History, error) {
 	tc = tc.withDefaults()
-	if tc.BatchSize%(q*d) != 0 {
-		return History{}, fmt.Errorf("vit: batch %d not divisible by d*q = %d", tc.BatchSize, q*d)
+	l, err := parallel.Validate(l)
+	if err != nil {
+		return History{}, err
 	}
-	c := dist.New(dist.Config{WorldSize: q * q * d})
-	hist := History{Setting: fmt.Sprintf("[%d,%d,%d]", q, q, d)}
+	if tc.BatchSize%l.RowShards() != 0 {
+		return History{}, fmt.Errorf("vit: batch %d not divisible by %s's %d row shards", tc.BatchSize, l, l.RowShards())
+	}
+	c := dist.New(dist.Config{WorldSize: l.Ranks})
+	hist := History{Setting: l.String()}
 	s := mcfg.SeqLen
-	err := c.Run(func(w *dist.Worker) error {
-		p := tesseract.NewProc(w, q, d)
-		model := NewDistModel(p, mcfg)
+	err = c.Run(func(w *dist.Worker) error {
+		f, err := parallel.New(w, l)
+		if err != nil {
+			return err
+		}
+		model := NewDistModel(f, mcfg)
 		opt := nn.NewAdam(tc.LR, tc.WeightDecay)
 		params := model.Params()
-		ws := w.Workspace()
 		for epoch := 0; epoch < tc.Epochs; epoch++ {
 			order := epochOrder(len(ds.Train), epoch, tc.Seed)
 			var lossSum float64
 			var correct, seen int
 			for start := 0; start+tc.BatchSize <= len(order); start += tc.BatchSize {
 				x, labels := ds.Batch(ds.Train, order[start:start+tc.BatchSize])
-				logits := model.Forward(p, DistributeBatch(p, x, s))
+				logits := model.Forward(DistributeBatch(f, x, s))
 				loss, dlogits := nn.CrossEntropy(logits, labels)
 				lossSum += loss
 				correct += nn.CorrectCount(logits, labels)
@@ -138,16 +148,16 @@ func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (Hi
 				for _, pa := range params {
 					pa.ZeroGrad()
 				}
-				model.Backward(p, dlogits)
+				model.Backward(dlogits)
 				opt.Step(params)
-				ws.ReleaseAll() // step boundary: recycle every activation and scratch buffer
+				f.EndStep() // step boundary: recycle every activation and scratch buffer
 			}
 			if w.Rank() == 0 {
 				steps := len(order) / tc.BatchSize
 				hist.Loss = append(hist.Loss, lossSum/float64(steps))
 				hist.TrainAcc = append(hist.TrainAcc, float64(correct)/float64(seen))
 			}
-			acc := evalDist(p, model, ds, tc.BatchSize, s)
+			acc := evalDist(f, model, ds, tc.BatchSize, s)
 			if w.Rank() == 0 {
 				hist.TestAcc = append(hist.TestAcc, acc)
 			}
@@ -160,18 +170,23 @@ func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (Hi
 	return hist, nil
 }
 
+// TrainTesseract trains under a [q, q, d] Tesseract mesh — the Figure 7
+// configuration, kept as a convenience over TrainLayout.
+func TrainTesseract(q, d int, ds *Dataset, mcfg ModelConfig, tc TrainConfig) (History, error) {
+	return TrainLayout(parallel.Layout{Family: "tesseract", Q: q, D: d}, ds, mcfg, tc)
+}
+
 // evalDist computes test accuracy on every rank (the forward pass is
-// collective). The final partial batch is padded up to the mesh divisibility
-// unit d·q by repeating the first tail sample — per-sample logits are
-// independent, so padding rows cannot perturb real rows — and only the real
-// labels are counted.
-func evalDist(p *tesseract.Proc, model *DistModel, ds *Dataset, batch, s int) float64 {
+// collective). The final partial batch is padded up to the family's row
+// divisibility unit by repeating the first tail sample — per-sample logits
+// are independent, so padding rows cannot perturb real rows — and only the
+// real labels are counted.
+func evalDist(f parallel.Family, model *DistModel, ds *Dataset, batch, s int) float64 {
 	n := len(ds.Test)
 	if n == 0 {
 		return 0
 	}
-	unit := p.Shape.Q * p.Shape.D
-	ws := p.W.Workspace()
+	unit := f.RowShards()
 	correct := 0
 	for start := 0; start < n; start += batch {
 		end := start + batch
@@ -189,9 +204,9 @@ func evalDist(p *tesseract.Proc, model *DistModel, ds *Dataset, batch, s int) fl
 			}
 		}
 		x, labels := ds.Batch(ds.Test, idx)
-		logits := model.Forward(p, DistributeBatch(p, x, s))
+		logits := model.Forward(DistributeBatch(f, x, s))
 		correct += nn.CorrectCount(logits, labels[:real])
-		ws.ReleaseAll() // eval step boundary: the logits row counts are consumed
+		f.EndStep() // eval step boundary: the logits row counts are consumed
 	}
 	return float64(correct) / float64(n)
 }

@@ -164,9 +164,9 @@ func TestDistForwardMatchesSerial(t *testing.T) {
 	for _, shape := range []struct{ q, d int }{{2, 1}, {2, 2}} {
 		results := testutil.NewCollector()
 		testutil.Run(t, shape.q*shape.q*shape.d, func(w *dist.Worker) error {
-			p := tesseract.NewProc(w, shape.q, shape.d)
-			model := NewDistModel(p, mcfg)
-			logits := model.Forward(p, DistributeBatch(p, x, mcfg.SeqLen))
+			f := tesseract.NewFamily(w, shape.q, shape.d)
+			model := NewDistModel(f, mcfg)
+			logits := model.Forward(DistributeBatch(f, x, mcfg.SeqLen))
 			results.Put(w.Rank(), logits)
 			return nil
 		})
@@ -190,14 +190,14 @@ func TestDistBackwardMatchesSerialGrads(t *testing.T) {
 
 	headGrads := testutil.NewCollector()
 	testutil.Run(t, 8, func(w *dist.Worker) error {
-		p := tesseract.NewProc(w, 2, 2)
-		model := NewDistModel(p, mcfg)
-		lg := model.Forward(p, DistributeBatch(p, x, mcfg.SeqLen))
+		f := tesseract.NewFamily(w, 2, 2)
+		model := NewDistModel(f, mcfg)
+		lg := model.Forward(DistributeBatch(f, x, mcfg.SeqLen))
 		_, dl := nn.CrossEntropy(lg, labels)
 		for _, pa := range model.Params() {
 			pa.ZeroGrad()
 		}
-		model.Backward(p, dl)
+		model.Backward(dl)
 		headGrads.Put(w.Rank(), model.Head.W.Grad)
 		return nil
 	})

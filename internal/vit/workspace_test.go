@@ -3,8 +3,12 @@ package vit
 import (
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// tess22 is the [2,2,2] layout the workspace tests exercise.
+var tess22 = parallel.Layout{Family: "tesseract", Q: 2, D: 2}
 
 // trainSteps drives n steps of the full distributed ViT through a
 // StepBencher with pooling on or off and returns rank 0's final parameter
@@ -13,7 +17,7 @@ func trainSteps(t *testing.T, pooling bool, n int) []*tensor.Matrix {
 	t.Helper()
 	ds, mcfg := tinyData()
 	tc := TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
-	sb, err := NewStepBencher(2, 2, ds, mcfg, tc, 0)
+	sb, err := NewStepBencher(tess22, ds, mcfg, tc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +58,7 @@ func TestPooledTrainingBitwiseEqualsAllocating(t *testing.T) {
 func TestTrainingWorkspaceHighWaterFlat(t *testing.T) {
 	ds, mcfg := tinyData()
 	tc := TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
-	sb, err := NewStepBencher(2, 2, ds, mcfg, tc, 2)
+	sb, err := NewStepBencher(tess22, ds, mcfg, tc, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR4.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR5.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -16,11 +16,13 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 
 # BenchmarkTesseractStep carries the PR 2 allocation metric and the PR 3
-# overlap + latency metrics: re-run it at 50 steps so allocs/step, ns/step
-# and overlap_frac (comm seconds hidden behind compute / total comm
-# seconds) are steady-state numbers, not a single cold iteration. The awk below keeps one row per benchmark with the
-# last line winning, so this pass overrides the smoke row.
-go test -run '^$' -bench 'TesseractStep' -benchtime 50x -benchmem . >> "$tmp"
+# overlap + latency metrics, and BenchmarkFamilyStep/{tesseract,optimus,
+# megatron} carries the PR 5 family-interface comparison: re-run them at 50
+# steps so allocs/step, ns/step and overlap_frac (comm seconds hidden
+# behind compute / total comm seconds) are steady-state numbers, not a
+# single cold iteration. The awk below keeps one row per benchmark with the
+# last line winning, so this pass overrides the smoke rows.
+go test -run '^$' -bench 'TesseractStep|FamilyStep' -benchtime 50x -benchmem . >> "$tmp"
 cat "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
