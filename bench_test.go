@@ -245,11 +245,15 @@ func benchGEMM(b *testing.B, n int) {
 	rng := tensor.NewRNG(1)
 	x := tensor.RandomMatrix(n, n, rng)
 	y := tensor.RandomMatrix(n, n, rng)
-	b.SetBytes(int64(8 * n * n))
+	flops := 2 * float64(n) * float64(n) * float64(n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, y)
 	}
+	// Arithmetic throughput, not the MB/s SetBytes used to imply — a GEMM's
+	// byte traffic is O(n²) while its work is O(n³), so MB/s numbers shrank
+	// as the kernels got faster at larger n.
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
 
 func BenchmarkSoftmaxRows(b *testing.B) {

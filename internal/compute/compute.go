@@ -60,10 +60,42 @@ func MatMulNTInto(w *dist.Worker, c, a, b *tensor.Matrix) {
 	tensor.MatMulNTInto(c, a, b)
 }
 
-// MatMulTNInto computes c += aᵀ·b and charges 2mnk flops.
+// MatMulTNInto computes c += aᵀ·b and charges 2mnk flops. Large products
+// route through the packed TN kernel with a workspace-drawn transpose panel
+// (bitwise identical; the in-place TN kernel's C traffic grows with k).
 func MatMulTNInto(w *dist.Worker, c, a, b *tensor.Matrix) {
 	w.ChargeGEMM(float64(a.Cols), float64(b.Cols), float64(a.Rows))
+	if !c.Phantom() && !a.Phantom() && !b.Phantom() && tensor.TNPackProfitable(a.Cols, b.Cols, a.Rows) {
+		ws := w.Workspace()
+		pack := ws.GetUninit(a.Cols, a.Rows)
+		tensor.MatMulTNIntoPacked(c, a, b, pack)
+		ws.Put(pack)
+		return
+	}
 	tensor.MatMulTNInto(c, a, b)
+}
+
+// MatMulBiasInto computes c += a·b with the bias row-add fused into the
+// GEMM write-back. Charges 2mnk for the GEMM plus one flop per output
+// element for the add — identical to MatMulInto + AddRowVectorInPlace, in
+// clock and in bits.
+func MatMulBiasInto(w *dist.Worker, c, a, b, bias *tensor.Matrix) {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Cols), float64(a.Cols))
+	w.Compute(float64(c.Size()) * FlopsPerAdd)
+	tensor.MatMulBiasInto(c, a, b, bias)
+}
+
+// MatMulBiasGELUInto computes pre += a·b with bias fused, writing GELU(pre)
+// into act — the whole linear forward in one output pass. bias may be nil.
+// Charges the GEMM plus the bias add (when present) plus FlopsPerGELU per
+// element, exactly what the separate passes charge.
+func MatMulBiasGELUInto(w *dist.Worker, act, pre, a, b, bias *tensor.Matrix) {
+	w.ChargeGEMM(float64(a.Rows), float64(b.Cols), float64(a.Cols))
+	if bias != nil {
+		w.Compute(float64(pre.Size()) * FlopsPerAdd)
+	}
+	w.Compute(float64(pre.Size()) * FlopsPerGELU)
+	tensor.MatMulBiasGELUInto(act, pre, a, b, bias)
 }
 
 // Add returns a+b, charging one flop per element.
@@ -170,6 +202,14 @@ func GELUTo(w *dist.Worker, dst, m *tensor.Matrix) {
 func GELUGradTo(w *dist.Worker, dst, m *tensor.Matrix) {
 	w.Compute(float64(m.Size()) * FlopsPerGELU)
 	tensor.GELUGradTo(dst, m)
+}
+
+// GELUGradHadamardTo computes dst = dy ⊙ GELU'(pre) in one pass — the fused
+// backward of a GELU linear layer. Charges FlopsPerGELU plus one multiply
+// per element, exactly what GELUGradTo + MulTo charge separately.
+func GELUGradHadamardTo(w *dist.Worker, dst, pre, dy *tensor.Matrix) {
+	w.Compute(float64(pre.Size()) * (FlopsPerGELU + FlopsPerAdd))
+	tensor.GELUGradHadamardTo(dst, pre, dy)
 }
 
 // SoftmaxRowsTo computes a row softmax into dst, FlopsPerSoftmax per

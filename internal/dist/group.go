@@ -325,6 +325,11 @@ func (g *Group) finish(rank int, r *round) {
 			r.result = m
 		} else {
 			for _, d := range r.dsts {
+				if d == m {
+					// The root broadcasting into its own payload (the
+					// in-place idiom) needs no copy.
+					continue
+				}
 				tensor.CopyInto(d, m)
 			}
 		}

@@ -73,17 +73,26 @@ func (a *Attention) Params() []*nn.Param {
 }
 
 // Forward runs attention over the replicated input x of shape [b·s, h].
+// The Q/K/V slices and the per-head probabilities are retained for the
+// backward pass in workspace buffers, released at the step boundary.
 func (a *Attention) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	qkv := a.QKV.Forward(p, x)
 	hp := a.H / p.P
-	a.q = qkv.SubMatrix(0, 0, qkv.Rows, hp)
-	a.k = qkv.SubMatrix(0, hp, qkv.Rows, hp)
-	a.v = qkv.SubMatrix(0, 2*hp, qkv.Rows, hp)
-	out := a.attendForward(p, a.q, a.k, a.v)
+	ph := qkv.Phantom()
+	aq := ws.GetUninitMatch(qkv.Rows, hp, ph)
+	ak := ws.GetUninitMatch(qkv.Rows, hp, ph)
+	av := ws.GetUninitMatch(qkv.Rows, hp, ph)
+	tensor.SubMatrixInto(aq, qkv, 0, 0)
+	tensor.SubMatrixInto(ak, qkv, 0, hp)
+	tensor.SubMatrixInto(av, qkv, 0, 2*hp)
+	a.q, a.k, a.v = aq, ak, av
+	out := a.attendForward(p, aq, ak, av)
 	return a.Proj.Forward(p, out)
 }
 
 func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	headsLocal := a.Heads / p.P
 	dh := a.H / a.Heads
 	s := a.SeqLen
@@ -91,38 +100,53 @@ func (a *Attention) attendForward(p *Proc, q, k, v *tensor.Matrix) *tensor.Matri
 		seqF := float64(q.Rows) / float64(s)
 		perHead := 4*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
 		p.W.Compute(seqF * float64(headsLocal) * perHead)
-		return tensor.NewPhantom(q.Rows, q.Cols)
+		return ws.GetUninitMatch(q.Rows, q.Cols, true)
 	}
 	if q.Rows%s != 0 {
 		panic(fmt.Sprintf("megatron: attention rows %d not divisible by seq len %d", q.Rows, s))
 	}
 	nseq := q.Rows / s
 	scale := 1 / math.Sqrt(float64(dh))
-	out := tensor.New(q.Rows, q.Cols)
-	a.probs = make([]*tensor.Matrix, 0, nseq*headsLocal)
+	out := ws.GetUninit(q.Rows, q.Cols) // every head block is overwritten below
+	a.probs = a.probs[:0]
+	qs := ws.GetUninit(s, dh)
+	ks := ws.GetUninit(s, dh)
+	vs := ws.GetUninit(s, dh)
+	scores := ws.GetUninit(s, s)
+	head := ws.GetUninit(s, dh)
 	for sq := 0; sq < nseq; sq++ {
 		for hd := 0; hd < headsLocal; hd++ {
-			qs := q.SubMatrix(sq*s, hd*dh, s, dh)
-			ks := k.SubMatrix(sq*s, hd*dh, s, dh)
-			vs := v.SubMatrix(sq*s, hd*dh, s, dh)
-			scores := tensor.Scale(scale, compute.MatMulNT(p.W, qs, ks))
-			probs := compute.SoftmaxRows(p.W, scores)
+			tensor.SubMatrixInto(qs, q, sq*s, hd*dh)
+			tensor.SubMatrixInto(ks, k, sq*s, hd*dh)
+			tensor.SubMatrixInto(vs, v, sq*s, hd*dh)
+			compute.MatMulNTInto(p.W, scores, qs, ks)
+			tensor.ScaleInPlace(scores, scale)
+			probs := ws.GetUninit(s, s) // retained for the backward pass
+			compute.SoftmaxRowsTo(p.W, probs, scores)
 			a.probs = append(a.probs, probs)
-			head := compute.MatMul(p.W, probs, vs)
+			head.Zero()
+			compute.MatMulInto(p.W, head, probs, vs)
 			out.SetSubMatrix(sq*s, hd*dh, head)
 		}
 	}
+	ws.Put(qs, ks, vs, scores, head)
 	return out
 }
 
-// Backward propagates through the module.
+// Backward propagates through the module, recycling gradient intermediates
+// as soon as their last reader returns.
 func (a *Attention) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	dout := a.Proj.Backward(p, dy)
 	dqkv := a.attendBackward(p, dout)
-	return a.QKV.Backward(p, dqkv)
+	ws.Put(dout)
+	dx := a.QKV.Backward(p, dqkv)
+	ws.Put(dqkv)
+	return dx
 }
 
 func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
 	headsLocal := a.Heads / p.P
 	dh := a.H / a.Heads
 	s := a.SeqLen
@@ -131,30 +155,44 @@ func (a *Attention) attendBackward(p *Proc, dout *tensor.Matrix) *tensor.Matrix 
 		seqF := float64(dout.Rows) / float64(s)
 		perHead := 8*float64(s)*float64(s)*float64(dh) + compute.FlopsPerSoftmax*float64(s)*float64(s)
 		p.W.Compute(seqF * float64(headsLocal) * perHead)
-		return tensor.NewPhantom(dout.Rows, 3*hp)
+		return ws.GetUninitMatch(dout.Rows, 3*hp, true)
 	}
 	nseq := dout.Rows / s
 	scale := 1 / math.Sqrt(float64(dh))
-	dqkv := tensor.New(dout.Rows, 3*hp)
+	dqkv := ws.GetUninit(dout.Rows, 3*hp) // every block is overwritten below
+	dhead := ws.GetUninit(s, dh)
+	qs := ws.GetUninit(s, dh)
+	ks := ws.GetUninit(s, dh)
+	vs := ws.GetUninit(s, dh)
+	dvs := ws.GetUninit(s, dh)
+	dprobs := ws.GetUninit(s, s)
+	dscores := ws.GetUninit(s, s)
+	dqs := ws.GetUninit(s, dh)
+	dks := ws.GetUninit(s, dh)
 	for sq := 0; sq < nseq; sq++ {
 		for hd := 0; hd < headsLocal; hd++ {
 			probs := a.probs[sq*headsLocal+hd]
-			dhead := dout.SubMatrix(sq*s, hd*dh, s, dh)
-			qs := a.q.SubMatrix(sq*s, hd*dh, s, dh)
-			ks := a.k.SubMatrix(sq*s, hd*dh, s, dh)
-			vs := a.v.SubMatrix(sq*s, hd*dh, s, dh)
+			tensor.SubMatrixInto(dhead, dout, sq*s, hd*dh)
+			tensor.SubMatrixInto(qs, a.q, sq*s, hd*dh)
+			tensor.SubMatrixInto(ks, a.k, sq*s, hd*dh)
+			tensor.SubMatrixInto(vs, a.v, sq*s, hd*dh)
 
-			dvs := compute.MatMulTN(p.W, probs, dhead)
-			dprobs := compute.MatMulNT(p.W, dhead, vs)
-			dscores := tensor.Scale(scale, compute.SoftmaxRowsBackward(p.W, probs, dprobs))
-			dqs := compute.MatMul(p.W, dscores, ks)
-			dks := compute.MatMulTN(p.W, dscores, qs)
+			dvs.Zero()
+			compute.MatMulTNInto(p.W, dvs, probs, dhead)
+			compute.MatMulNTInto(p.W, dprobs, dhead, vs)
+			compute.SoftmaxRowsBackwardTo(p.W, dscores, probs, dprobs)
+			tensor.ScaleInPlace(dscores, scale)
+			dqs.Zero()
+			compute.MatMulInto(p.W, dqs, dscores, ks)
+			dks.Zero()
+			compute.MatMulTNInto(p.W, dks, dscores, qs)
 
 			dqkv.SetSubMatrix(sq*s, hd*dh, dqs)
 			dqkv.SetSubMatrix(sq*s, hp+hd*dh, dks)
 			dqkv.SetSubMatrix(sq*s, 2*hp+hd*dh, dvs)
 		}
 	}
+	ws.Put(dhead, qs, ks, vs, dvs, dprobs, dscores, dqs, dks)
 	return dqkv
 }
 

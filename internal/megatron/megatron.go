@@ -98,32 +98,63 @@ func (l *ColLinear) Params() []*nn.Param {
 	return []*nn.Param{l.W, l.B}
 }
 
-// Forward multiplies the replicated input by the local column shard.
+// Forward multiplies the replicated input by the local column shard, with
+// the bias add and optional GELU fused into the GEMM write-back. The
+// pre-activation (and activation) are workspace buffers retained until the
+// step-boundary ReleaseAll.
 func (l *ColLinear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
-	y := compute.MatMul(p.W, x, l.W.Value)
+	ws := p.W.Workspace()
+	ph := x.Phantom() || l.W.Value.Phantom()
+	pre := ws.GetUninitMatch(x.Rows, l.W.Value.Cols, ph)
+	pre.Zero()
+	l.pre = pre
+	var bias *tensor.Matrix
 	if l.B != nil {
-		y = compute.AddRowVector(p.W, y, l.B.Value)
+		bias = l.B.Value
 	}
-	l.pre = y
 	if l.Act == nn.ActGELU {
-		return compute.GELU(p.W, y)
+		act := ws.GetUninitMatch(x.Rows, l.W.Value.Cols, ph)
+		compute.MatMulBiasGELUInto(p.W, act, pre, x, l.W.Value, bias)
+		return act
 	}
-	return y
+	if bias != nil {
+		compute.MatMulBiasInto(p.W, pre, x, l.W.Value, bias)
+	} else {
+		compute.MatMulInto(p.W, pre, x, l.W.Value)
+	}
+	return pre
 }
 
 // Backward accumulates shard gradients and all-reduces the input gradient so
-// it is replicated again.
+// it is replicated again. Gradient intermediates are pooled and recycled;
+// the returned buffer is owned by the caller.
 func (l *ColLinear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
+	ws := p.W.Workspace()
+	ph := dy.Phantom() || l.W.Value.Phantom()
+	var dyScratch *tensor.Matrix
 	if l.Act == nn.ActGELU {
-		dy = compute.Mul(p.W, dy, compute.GELUGrad(p.W, l.pre))
+		g := ws.GetUninitMatch(dy.Rows, dy.Cols, dy.Phantom() || l.pre.Phantom())
+		compute.GELUGradHadamardTo(p.W, g, l.pre, dy)
+		dy, dyScratch = g, g
 	}
-	l.W.AccumGrad(compute.MatMulTN(p.W, l.x, dy))
+	dw := ws.GetUninitMatch(l.W.Value.Rows, l.W.Value.Cols, ph)
+	dw.Zero()
+	compute.MatMulTNInto(p.W, dw, l.x, dy)
+	l.W.AccumGrad(dw)
+	ws.Put(dw)
 	if l.B != nil {
-		l.B.AccumGrad(compute.ColSums(p.W, dy))
+		db := ws.GetUninitMatch(1, dy.Cols, ph)
+		compute.ColSumsInto(p.W, db, dy)
+		l.B.AccumGrad(db)
+		ws.Put(db)
 	}
-	partial := compute.MatMulNT(p.W, dy, l.W.Value)
-	return p.TP.AllReduce(p.W, partial)
+	dx := ws.GetUninitMatch(dy.Rows, l.In, ph)
+	compute.MatMulNTInto(p.W, dx, dy, l.W.Value)
+	if dyScratch != nil {
+		ws.Put(dyScratch)
+	}
+	return p.TP.AllReduceInto(p.W, dx, dx)
 }
 
 // RowLinear is a row-parallel linear layer: W is split [In/p, Out], the
@@ -172,26 +203,41 @@ func (l *RowLinear) Params() []*nn.Param {
 	return []*nn.Param{l.W, l.B}
 }
 
-// Forward multiplies the sharded input by the local row shard and
-// all-reduces the partial outputs.
+// Forward multiplies the sharded input by the local row shard, all-reduces
+// the partial outputs in place, and adds the bias to the reduced sum. The
+// output is a workspace buffer retained until the step boundary.
 func (l *RowLinear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
-	partial := compute.MatMul(p.W, x, l.W.Value)
-	y := p.TP.AllReduce(p.W, partial)
+	ws := p.W.Workspace()
+	y := ws.GetUninitMatch(x.Rows, l.Out, x.Phantom() || l.W.Value.Phantom())
+	y.Zero()
+	compute.MatMulInto(p.W, y, x, l.W.Value)
+	p.TP.AllReduceInto(p.W, y, y)
 	if l.B != nil {
-		y = compute.AddRowVector(p.W, y, l.B.Value)
+		compute.AddRowVectorInPlace(p.W, y, l.B.Value)
 	}
 	return y
 }
 
 // Backward accumulates shard gradients and returns the sharded input
-// gradient without communication.
+// gradient without communication, out of pooled buffers.
 func (l *RowLinear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
-	l.W.AccumGrad(compute.MatMulTN(p.W, l.x, dy))
+	ws := p.W.Workspace()
+	ph := dy.Phantom() || l.W.Value.Phantom()
+	dw := ws.GetUninitMatch(l.W.Value.Rows, l.Out, ph)
+	dw.Zero()
+	compute.MatMulTNInto(p.W, dw, l.x, dy)
+	l.W.AccumGrad(dw)
+	ws.Put(dw)
 	if l.B != nil {
-		l.B.AccumGrad(compute.ColSums(p.W, dy))
+		db := ws.GetUninitMatch(1, l.Out, ph)
+		compute.ColSumsInto(p.W, db, dy)
+		l.B.AccumGrad(db)
+		ws.Put(db)
 	}
-	return compute.MatMulNT(p.W, dy, l.W.Value)
+	dx := ws.GetUninitMatch(dy.Rows, l.W.Value.Rows, ph)
+	compute.MatMulNTInto(p.W, dx, dy, l.W.Value)
+	return dx
 }
 
 func zerosMaybePhantom(rows, cols int, phantom bool) *tensor.Matrix {

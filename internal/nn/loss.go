@@ -10,23 +10,42 @@ import (
 // CrossEntropy computes the mean softmax cross-entropy of logits [n, classes]
 // against integer labels, returning the scalar loss and dLoss/dLogits.
 func CrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	loss := CrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// CrossEntropyInto is CrossEntropy with a caller-supplied gradient buffer
+// (shape [n, classes], fully overwritten), so hot training loops can draw
+// dLoss/dLogits from a workspace instead of allocating per step. The rounded
+// op sequence — row softmax, subtract 1 at the label, scale by 1/n — is the
+// one CrossEntropy has always performed (the clone it used to take between
+// softmax and subtraction moved bits, not values), so the two entry points
+// are bitwise interchangeable.
+func CrossEntropyInto(grad, logits *tensor.Matrix, labels []int) float64 {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: CrossEntropy %d rows vs %d labels", logits.Rows, len(labels)))
 	}
-	probs := tensor.SoftmaxRows(logits)
+	if !grad.SameShape(logits) {
+		panic(fmt.Sprintf("nn: CrossEntropyInto grad %dx%d vs logits %dx%d",
+			grad.Rows, grad.Cols, logits.Rows, logits.Cols))
+	}
+	if grad.Phantom() || logits.Phantom() {
+		return 0
+	}
+	tensor.SoftmaxRowsTo(grad, logits)
 	n := float64(logits.Rows)
 	var loss float64
-	grad := probs.Clone()
 	for i, lbl := range labels {
 		if lbl < 0 || lbl >= logits.Cols {
 			panic(fmt.Sprintf("nn: label %d out of range %d", lbl, logits.Cols))
 		}
-		p := probs.At(i, lbl)
+		p := grad.At(i, lbl)
 		loss -= math.Log(math.Max(p, 1e-300))
-		grad.Set(i, lbl, grad.At(i, lbl)-1)
+		grad.Set(i, lbl, p-1)
 	}
 	tensor.ScaleInPlace(grad, 1/n)
-	return loss / n, grad
+	return loss / n
 }
 
 // CorrectCount returns the number of rows whose argmax equals the label —

@@ -76,6 +76,13 @@ type Adam struct {
 	t     int
 	m, v  map[*Param]*tensor.Matrix
 	ready bool
+
+	// Moment slices aligned with the last params slice seen, so the steady
+	// path (trainers pass the identical slice every step) does one pointer
+	// compare per parameter instead of two map lookups.
+	cachedParams []*Param
+	cachedM      []*tensor.Matrix
+	cachedV      []*tensor.Matrix
 }
 
 // NewAdam returns an Adam optimiser with the usual defaults for unset
@@ -94,8 +101,44 @@ func (a *Adam) Step(params []*Param) {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	if !a.cacheMatches(params) {
+		a.rebuildCache(params)
+	}
+	for i, p := range params {
+		if p.Value.Phantom() {
+			continue
+		}
+		// The vectorised kernel performs exactly the scalar update sequence
+		// per element (see tensor.AdamUpdate) — trajectories are unchanged.
+		tensor.AdamUpdate(p.Value, p.Grad, a.cachedM[i], a.cachedV[i], a.LR, a.Beta1, a.Beta2, a.Eps, a.WeightDecay, bc1, bc2)
+	}
+}
+
+// cacheMatches reports whether the moment cache is aligned with params —
+// same parameters, same order.
+func (a *Adam) cacheMatches(params []*Param) bool {
+	if len(params) != len(a.cachedParams) {
+		return false
+	}
+	for i, p := range params {
+		if a.cachedParams[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildCache realigns the moment slices with params, creating state for
+// parameters seen for the first time. The maps stay authoritative, so a
+// parameter's moments survive reordering or regrouping across calls.
+func (a *Adam) rebuildCache(params []*Param) {
+	a.cachedParams = append(a.cachedParams[:0], params...)
+	a.cachedM = a.cachedM[:0]
+	a.cachedV = a.cachedV[:0]
 	for _, p := range params {
 		if p.Value.Phantom() {
+			a.cachedM = append(a.cachedM, nil)
+			a.cachedV = append(a.cachedV, nil)
 			continue
 		}
 		m, ok := a.m[p]
@@ -108,12 +151,7 @@ func (a *Adam) Step(params []*Param) {
 			v = tensor.New(p.Value.Rows, p.Value.Cols)
 			a.v[p] = v
 		}
-		for i, g := range p.Grad.Data {
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mh := m.Data[i] / bc1
-			vh := v.Data[i] / bc2
-			p.Value.Data[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.Value.Data[i])
-		}
+		a.cachedM = append(a.cachedM, m)
+		a.cachedV = append(a.cachedV, v)
 	}
 }

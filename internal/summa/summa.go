@@ -46,6 +46,27 @@ import (
 // operand are reused across all q broadcast iterations, so a steady-state
 // call allocates nothing.
 func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
+	return MulABEpi(p, a, b, Epilogue{})
+}
+
+// Epilogue is an optional fused write-back for MulABEpi: after the final
+// SUMMA iteration has finished accumulating a C row band, Bias (a local
+// [1, C.Cols] row vector) is added to it and, when Act is non-nil, GELU of
+// the row is written into Act while C keeps the pre-activation. Because the
+// epilogue runs only after a row's last accumulation step, the result is
+// bitwise identical to running the separate bias/GELU passes after MulAB —
+// the per-element operation order is unchanged (see tensor's fusion
+// contract). Both fields may be nil; both must be workspace buffers or
+// parameters the caller owns.
+type Epilogue struct {
+	Bias *tensor.Matrix
+	Act  *tensor.Matrix
+}
+
+// MulABEpi is MulAB with a fused epilogue applied inside the final
+// iteration's GEMM write-back, saving the extra memory passes a linear
+// layer's bias add and activation would otherwise spend on C.
+func MulABEpi(p *mesh.Proc, a, b *tensor.Matrix, epi Epilogue) *tensor.Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("summa: MulAB local blocks %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -68,7 +89,14 @@ func MulAB(p *mesh.Proc, a, b *tensor.Matrix) *tensor.Matrix {
 		}
 		hA[cur].Wait()
 		hB[cur].Wait()
-		compute.MatMulInto(p.W, c, aps[cur], bps[cur])
+		switch {
+		case t < p.Shape.Q-1 || (epi.Bias == nil && epi.Act == nil):
+			compute.MatMulInto(p.W, c, aps[cur], bps[cur])
+		case epi.Act != nil:
+			compute.MatMulBiasGELUInto(p.W, epi.Act, c, aps[cur], bps[cur], epi.Bias)
+		default:
+			compute.MatMulBiasInto(p.W, c, aps[cur], bps[cur], epi.Bias)
+		}
 	}
 	ws.Put(aPanels[0], aPanels[1], bPanels[0], bPanels[1])
 	return c

@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // GEMM execution strategy. The three kernels (NN accumulate, NT, TN) share
 // the same structure:
@@ -14,19 +11,20 @@ import (
 //     optimised kernels are bitwise identical to the naive reference
 //     kernels kept in naive.go;
 //   - cache blocking: the NN kernel tiles k so a panel of B rows stays
-//     resident while a block of C rows streams through, and the TN kernel
-//     holds four C rows L1-hot while B streams once (NT is dot-product
-//     shaped and needs only register blocking);
-//   - row-band goroutine parallelism over the rows of C, gated behind a
-//     flop threshold so tiny test matrices stay serial. Banding never
-//     changes results: each C row's arithmetic is independent and
-//     identical in any band split.
+//     resident while a block of C rows streams through, and the NT/TN
+//     kernels pack their transposed operand into a contiguous panel above a
+//     size threshold (see pack.go) so the same NN microkernels serve all
+//     three orientations;
+//   - row-band parallelism over the rows of C through the persistent worker
+//     pool (pool.go), gated behind a flop threshold so tiny test matrices
+//     stay serial. Banding never changes results: each C row's arithmetic
+//     is independent and identical in any band split.
 const (
 	// gemmKC is the k-tile: gemmKC rows of B (×8 bytes×n columns) form the
 	// panel reused across a block of C rows.
 	gemmKC = 256
-	// gemmParallelFlops gates goroutine banding: below 2·m·n·k of one
-	// million flops the spawn overhead outweighs the help.
+	// gemmParallelFlops gates row banding: below 2·m·n·k of one million
+	// flops the hand-off overhead outweighs the help.
 	gemmParallelFlops = 1 << 20
 )
 
@@ -50,46 +48,31 @@ func bandRange(rows, band, bands int) (int, int) {
 	return lo, hi
 }
 
-// runBanded executes fn over row bands, in place for a single band and on
-// one goroutine per band otherwise.
-func runBanded(rows, bands int, fn func(i0, i1 int)) {
-	if bands <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	for b := 0; b < bands; b++ {
-		i0, i1 := bandRange(rows, b, bands)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fn(i0, i1)
-		}()
-	}
-	wg.Wait()
+// matMulAccum computes C += A·B on real matrices (the shared kernel behind
+// MatMul, MatMulInto and the packed NT/TN paths), applying the epilogue to
+// each band of C rows as it finishes.
+func matMulAccum(c, a, b *Matrix, epi epilogue) {
+	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
+	t := gemmTask{op: opNN, c: c, a: a, b: b, epi: epi}
+	runGEMM(&t, a.Rows, gemmBands(flops, a.Rows))
 }
 
-// matMulAccum computes C += A·B on real matrices (the shared kernel behind
-// MatMul and MatMulInto). The single-band fast path avoids constructing the
-// banding closure, which would otherwise be the only allocation of a small
-// GEMM — the training hot path must stay allocation-free.
-func matMulAccum(c, a, b *Matrix) {
-	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
-	bands := gemmBands(flops, a.Rows)
-	if bands <= 1 {
-		matMulAccumRows(c, a, b, 0, a.Rows)
-		return
-	}
-	runBanded(a.Rows, bands, func(i0, i1 int) {
-		matMulAccumRows(c, a, b, i0, i1)
-	})
-}
+// nnRowNarrow, when non-nil (bound on amd64 with AVX2), handles NN row bands
+// whose C rows fit in vector registers — n of 4 or 8, the projection widths
+// of the per-rank test models. It keeps each C row resident in YMM registers
+// across the whole k loop instead of storing and reloading it every four
+// steps; the per-element operation sequence is unchanged, so results stay
+// bitwise identical. Returns false to fall through to the general kernel.
+var nnRowNarrow func(c, a, b *Matrix, i0, i1 int) bool
 
 // matMulAccumRows runs the NN kernel over C rows [i0, i1): k-tiled, with a
 // four-row microkernel that reuses the loaded C row across four B rows.
 func matMulAccumRows(c, a, b *Matrix, i0, i1 int) {
 	n, k := b.Cols, a.Cols
 	if n == 0 || k == 0 {
+		return
+	}
+	if nnRowNarrow != nil && nnRowNarrow(c, a, b, i0, i1) {
 		return
 	}
 	for kc := 0; kc < k; kc += gemmKC {
@@ -116,77 +99,12 @@ func matMulAccumRows(c, a, b *Matrix, i0, i1 int) {
 	}
 }
 
-// NT packing. The plain NT kernel is dot-product shaped: every C element
-// walks one A row and one B row, so nothing vectorises beyond 2×2 register
-// blocking and NT256 runs at roughly half the NN/TN rate. Above the
-// threshold below it pays to transpose B once into a row-major [k, n]
-// panel and run the NN microkernels (vectorised axpy/accum4) over the
-// packed panel instead. Both paths accumulate every C element in ascending
-// k order with individually rounded multiplies and adds, so they are
-// bitwise identical to each other and to the naive reference — see
-// TestMatMulNTPackedMatchesNaiveBitwise and the NT256 rows of
-// BenchmarkGEMMKernels for the proof and the justification.
-const (
-	// ntPackMinRows: with fewer A rows the packed panel is read too few
-	// times to amortise the transpose.
-	ntPackMinRows = 16
-	// ntPackMinFlops keeps tiny multiplies (attention heads, bias-sized
-	// blocks) on the scratch-free kernel.
-	ntPackMinFlops = 1 << 20
-)
-
-// NTPackProfitable reports whether C = A·Bᵀ of shape [m, n] = [m, k]·[n, k]ᵀ
-// is worth the packed path's [k, n] scratch panel. Callers that can supply
-// pooled scratch (compute.MatMulNTInto) consult it before drawing a buffer.
-func NTPackProfitable(m, n, k int) bool {
-	return m >= ntPackMinRows && 2*float64(m)*float64(n)*float64(k) >= ntPackMinFlops
-}
-
-// matMulNTPacked computes C = A·Bᵀ by packing Bᵀ into the caller-supplied
-// [k, n] panel and accumulating with the NN kernel from a zeroed C.
-func matMulNTPacked(c, a, b, pack *Matrix) {
-	transposeInto(pack, b)
-	c.Zero()
-	matMulAccum(c, a, pack)
-}
-
-// transposeInto writes srcᵀ into dst ([src.Cols, src.Rows]) in cache-blocked
-// tiles.
-func transposeInto(dst, src *Matrix) {
-	const tile = 32
-	rows, cols := src.Rows, src.Cols
-	for i0 := 0; i0 < rows; i0 += tile {
-		i1 := i0 + tile
-		if i1 > rows {
-			i1 = rows
-		}
-		for j0 := 0; j0 < cols; j0 += tile {
-			j1 := j0 + tile
-			if j1 > cols {
-				j1 = cols
-			}
-			for i := i0; i < i1; i++ {
-				row := src.Data[i*cols : (i+1)*cols]
-				for j := j0; j < j1; j++ {
-					dst.Data[j*rows+i] = row[j]
-				}
-			}
-		}
-	}
-}
-
 // matMulNTKernel computes C = A·Bᵀ on real matrices (it overwrites C, never
 // reading it).
 func matMulNTKernel(c, a, b *Matrix) {
 	flops := 2 * float64(a.Rows) * float64(b.Rows) * float64(a.Cols)
-	bands := gemmBands(flops, a.Rows)
-	if bands <= 1 {
-		matMulNTRows(c, a, b, 0, a.Rows)
-		return
-	}
-	runBanded(a.Rows, bands, func(i0, i1 int) {
-		matMulNTRows(c, a, b, i0, i1)
-	})
+	t := gemmTask{op: opNT, c: c, a: a, b: b}
+	runGEMM(&t, a.Rows, gemmBands(flops, a.Rows))
 }
 
 // matMulNTRows runs the NT kernel over C rows [i0, i1): 2×2 register
@@ -239,23 +157,19 @@ func matMulNTRows(c, a, b *Matrix, i0, i1 int) {
 	}
 }
 
-// matMulTNKernel computes C = Aᵀ·B on real matrices (C pre-zeroed).
+// matMulTNKernel computes C += Aᵀ·B on real matrices.
 func matMulTNKernel(c, a, b *Matrix) {
 	flops := 2 * float64(a.Cols) * float64(b.Cols) * float64(a.Rows)
-	bands := gemmBands(flops, a.Cols)
-	if bands <= 1 {
-		matMulTNRows(c, a, b, 0, a.Cols)
-		return
-	}
-	runBanded(a.Cols, bands, func(i0, i1 int) {
-		matMulTNRows(c, a, b, i0, i1)
-	})
+	t := gemmTask{op: opTN, c: c, a: a, b: b}
+	runGEMM(&t, a.Cols, gemmBands(flops, a.Cols))
 }
 
-// matMulTNRows runs the TN kernel over C rows [i0, i1) (columns of A):
-// blocks of four C rows stay L1-resident while B streams through once, and
-// every element still accumulates in ascending-l order like the naive
-// kernel — the dense-friendly replacement for the old zero-skip loop.
+// matMulTNRows runs the in-place TN kernel over C rows [i0, i1) (columns of
+// A): blocks of four C rows stay L1-resident while B streams through once,
+// and every element still accumulates in ascending-l order like the naive
+// kernel. Above the packing threshold matMulTNPacked replaces this with a
+// transpose plus the NN kernels — this in-place form reloads each C row per
+// l, so its C traffic grows with k.
 func matMulTNRows(c, a, b *Matrix, i0, i1 int) {
 	m, ac, n := a.Rows, a.Cols, b.Cols
 	if n == 0 {

@@ -24,11 +24,56 @@ func accum4Ptr(c, b0, b1, b2, b3 *float64, n int, a0, a1, a2, a3 float64)
 //go:noescape
 func axpyPtr(c, b *float64, n int, a float64)
 
+//go:noescape
+func nnRow8Ptr(c, a, b *float64, k int)
+
+//go:noescape
+func nnRow4Ptr(c, a, b *float64, k int)
+
+//go:noescape
+func nnRow8x2Ptr(c0, c1, a0, a1, b *float64, k int)
+
+//go:noescape
+func nnRow4x2Ptr(c0, c1, a0, a1, b *float64, k int)
+
 func init() {
 	if cpuHasAVX2() {
 		accum4 = accum4AVX2
 		axpy = axpyAVX2
+		nnRowNarrow = nnRowNarrowAVX2
 	}
+}
+
+// nnRowNarrowAVX2 runs the NN kernel over C rows [i0, i1) when C is 4 or 8
+// columns wide — the per-rank projection widths of the test models — keeping
+// each C row in YMM registers across the full k loop. Rows are processed in
+// pairs so the two accumulation chains hide each other's add latency; the
+// per-row, per-element operation order is exactly the general kernel's.
+func nnRowNarrowAVX2(c, a, b *Matrix, i0, i1 int) bool {
+	n, k := b.Cols, a.Cols
+	switch n {
+	case 8:
+		_ = b.Data[k*8-1]
+		i := i0
+		for ; i+2 <= i1; i += 2 {
+			nnRow8x2Ptr(&c.Data[i*8], &c.Data[(i+1)*8], &a.Data[i*k], &a.Data[(i+1)*k], &b.Data[0], k)
+		}
+		for ; i < i1; i++ {
+			nnRow8Ptr(&c.Data[i*8], &a.Data[i*k], &b.Data[0], k)
+		}
+	case 4:
+		_ = b.Data[k*4-1]
+		i := i0
+		for ; i+2 <= i1; i += 2 {
+			nnRow4x2Ptr(&c.Data[i*4], &c.Data[(i+1)*4], &a.Data[i*k], &a.Data[(i+1)*k], &b.Data[0], k)
+		}
+		for ; i < i1; i++ {
+			nnRow4Ptr(&c.Data[i*4], &a.Data[i*k], &b.Data[0], k)
+		}
+	default:
+		return false
+	}
+	return true
 }
 
 func accum4AVX2(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {

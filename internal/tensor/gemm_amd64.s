@@ -160,3 +160,136 @@ ascalar:
 adone:
 	VZEROUPPER
 	RET
+
+// Narrow-row NN kernels: when C has 4 or 8 columns the whole C row fits in
+// YMM registers, so the k loop runs entirely in-register — no C store/load
+// per four k steps and no per-call overhead. Accumulation is still one
+// broadcast multiply plus one add per k step in ascending order, bitwise
+// identical to accum4/axpy and the naive kernel.
+
+// func nnRow8Ptr(c, a, b *float64, k int)
+// c[0:8] += a[l] * b[l*8 : l*8+8] for l in ascending order
+TEXT ·nnRow8Ptr(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ k+24(FP), CX
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	XORQ AX, AX
+	TESTQ CX, CX
+	JZ   n8done
+n8loop:
+	VBROADCASTSD (SI)(AX*8), Y0
+	VMULPD  (R8), Y0, Y3
+	VADDPD  Y3, Y1, Y1
+	VMULPD  32(R8), Y0, Y4
+	VADDPD  Y4, Y2, Y2
+	ADDQ $64, R8
+	INCQ AX
+	CMPQ AX, CX
+	JL   n8loop
+n8done:
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	VZEROUPPER
+	RET
+
+// func nnRow4Ptr(c, a, b *float64, k int)
+// c[0:4] += a[l] * b[l*4 : l*4+4] for l in ascending order
+TEXT ·nnRow4Ptr(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ k+24(FP), CX
+	VMOVUPD (DI), Y1
+	XORQ AX, AX
+	TESTQ CX, CX
+	JZ   n4done
+n4loop:
+	VBROADCASTSD (SI)(AX*8), Y0
+	VMULPD  (R8), Y0, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ $32, R8
+	INCQ AX
+	CMPQ AX, CX
+	JL   n4loop
+n4done:
+	VMOVUPD Y1, (DI)
+	VZEROUPPER
+	RET
+
+// func nnRow8x2Ptr(c0, c1, a0, a1, b *float64, k int)
+// Two adjacent C rows at once: the two accumulation chains interleave so
+// the VADDPD latency of one row hides behind the other, and each packed B
+// row is loaded once and used twice. Per-row arithmetic order is exactly
+// nnRow8Ptr's.
+TEXT ·nnRow8x2Ptr(SB), NOSPLIT, $0-48
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), DX
+	MOVQ a0+16(FP), SI
+	MOVQ a1+24(FP), R9
+	MOVQ b+32(FP), R8
+	MOVQ k+40(FP), CX
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VMOVUPD (DX), Y3
+	VMOVUPD 32(DX), Y4
+	XORQ AX, AX
+	TESTQ CX, CX
+	JZ   n82done
+n82loop:
+	VBROADCASTSD (SI)(AX*8), Y0
+	VBROADCASTSD (R9)(AX*8), Y5
+	VMOVUPD (R8), Y6
+	VMOVUPD 32(R8), Y7
+	VMULPD  Y6, Y0, Y8
+	VADDPD  Y8, Y1, Y1
+	VMULPD  Y7, Y0, Y9
+	VADDPD  Y9, Y2, Y2
+	VMULPD  Y6, Y5, Y8
+	VADDPD  Y8, Y3, Y3
+	VMULPD  Y7, Y5, Y9
+	VADDPD  Y9, Y4, Y4
+	ADDQ $64, R8
+	INCQ AX
+	CMPQ AX, CX
+	JL   n82loop
+n82done:
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	VMOVUPD Y3, (DX)
+	VMOVUPD Y4, 32(DX)
+	VZEROUPPER
+	RET
+
+// func nnRow4x2Ptr(c0, c1, a0, a1, b *float64, k int)
+TEXT ·nnRow4x2Ptr(SB), NOSPLIT, $0-48
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), DX
+	MOVQ a0+16(FP), SI
+	MOVQ a1+24(FP), R9
+	MOVQ b+32(FP), R8
+	MOVQ k+40(FP), CX
+	VMOVUPD (DI), Y1
+	VMOVUPD (DX), Y3
+	XORQ AX, AX
+	TESTQ CX, CX
+	JZ   n42done
+n42loop:
+	VBROADCASTSD (SI)(AX*8), Y0
+	VBROADCASTSD (R9)(AX*8), Y5
+	VMOVUPD (R8), Y6
+	VMULPD  Y6, Y0, Y8
+	VADDPD  Y8, Y1, Y1
+	VMULPD  Y6, Y5, Y8
+	VADDPD  Y8, Y3, Y3
+	ADDQ $32, R8
+	INCQ AX
+	CMPQ AX, CX
+	JL   n42loop
+n42done:
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y3, (DX)
+	VZEROUPPER
+	RET

@@ -33,7 +33,7 @@ func benchPair(b *testing.B, n int, opt, naive func(c, x, y *Matrix)) {
 func BenchmarkGEMMKernels(b *testing.B) {
 	for _, n := range []int{64, 128, 256, 384} {
 		b.Run(fmt.Sprintf("NN%d", n), func(b *testing.B) {
-			benchPair(b, n, matMulAccum, matMulAccumNaive)
+			benchPair(b, n, func(c, x, y *Matrix) { matMulAccum(c, x, y, epilogue{}) }, matMulAccumNaive)
 		})
 	}
 	b.Run("NT256", func(b *testing.B) {
@@ -52,7 +52,7 @@ func BenchmarkGEMMKernels(b *testing.B) {
 			flops := 2 * float64(256) * float64(256) * float64(256)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				matMulNTPacked(c, x, y, pack)
+				matMulNTPacked(c, x, y, pack, epilogue{})
 			}
 			b.StopTimer()
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
@@ -60,6 +60,24 @@ func BenchmarkGEMMKernels(b *testing.B) {
 	})
 	b.Run("TN256", func(b *testing.B) {
 		benchPair(b, 256, matMulTNKernel, matMulTNNaive)
+		// The TN packed path: transpose A once into a scratch panel, then
+		// accumulate with the NN microkernels — quarter the C traffic of the
+		// in-place axpy TN kernel, whose C rows reload once per k step.
+		pack := New(256, 256)
+		b.Run("packed", func(b *testing.B) {
+			rng := NewRNG(256)
+			x := RandomMatrix(256, 256, rng)
+			y := RandomMatrix(256, 256, rng)
+			c := New(256, 256)
+			flops := 2 * float64(256) * float64(256) * float64(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				matMulTNPacked(c, x, y, pack)
+			}
+			b.StopTimer()
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
 	})
 }
 
@@ -70,12 +88,14 @@ func BenchmarkGEMMNaive256(b *testing.B) {
 	x := RandomMatrix(256, 256, rng)
 	y := RandomMatrix(256, 256, rng)
 	c := New(256, 256)
-	b.SetBytes(int64(8 * 256 * 256))
+	flops := 2 * float64(256) * float64(256) * float64(256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Zero()
 		matMulAccumNaive(c, x, y)
 	}
+	b.StopTimer()
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
 
 // BenchmarkZeroSkipDense measures what the seed's `if av == 0` zero-skip

@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -105,10 +106,71 @@ func TestMatMulTNMatchesNaiveBitwise(t *testing.T) {
 	}
 }
 
+// TestMatMulTNPackedMatchesNaiveBitwise forces the packed TN path (transpose
+// A into a panel, accumulate with the NN microkernels) at EVERY shape —
+// odd, ragged, and k not divisible by any panel tile — and demands bitwise
+// agreement with the naive reference. The packed TN contract is +=, so the
+// test also seeds C with prior contents and checks the accumulation.
+func TestMatMulTNPackedMatchesNaiveBitwise(t *testing.T) {
+	for _, s := range gemmShapes() {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			rng := NewRNG(uint64(s.m*517 + s.k*51 + s.n))
+			a := RandomMatrix(s.k, s.m, rng) // C += Aᵀ·B is m×n
+			b := RandomMatrix(s.k, s.n, rng)
+			seed := RandomMatrix(s.m, s.n, rng)
+			want := seed.Clone()
+			matMulTNNaive(want, a, b)
+			got := seed.Clone()
+			MatMulTNIntoPacked(got, a, b, New(s.m, s.k))
+			if !got.Equal(want) {
+				t.Fatalf("packed TN diverges from naive kernel (max diff %g)", got.MaxAbsDiff(want))
+			}
+		})
+	}
+	// Special values survive the packed path: 0·NaN must stay NaN.
+	a := FromRows([][]float64{{0, 2}, {1, 0}}) // aᵀ = {{0,1},{2,0}}
+	a.Set(0, 0, math.NaN())
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	want := New(2, 2)
+	matMulTNNaive(want, a, b)
+	got := New(2, 2)
+	MatMulTNIntoPacked(got, a, b, New(2, 2))
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("element %d: packed %v vs naive %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestNarrowRowKernelsMatchNaiveBitwise pins the register-resident NN row
+// kernels (n of 4 and 8, where a C row lives in YMM registers across the
+// whole k loop on amd64) to the naive reference at shapes that exercise the
+// paired-row path, the odd trailing row, and k values around the microkernel
+// widths. On non-AVX2 hosts this degenerates to re-testing the general path.
+func TestNarrowRowKernelsMatchNaiveBitwise(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 1, 4}, {1, 1, 8}, {2, 3, 4}, {3, 5, 8}, {7, 300, 4},
+		{8, 511, 8}, {33, 100, 8}, {17, 53, 4}, {16, 256, 8}, {5, 1024, 4},
+	} {
+		rng := NewRNG(uint64(s.m*43 + s.k*17 + s.n))
+		a := RandomMatrix(s.m, s.k, rng)
+		b := RandomMatrix(s.k, s.n, rng)
+		want := New(s.m, s.n)
+		matMulAccumNaive(want, a, b)
+		got := New(s.m, s.n)
+		matMulAccumRows(got, a, b, 0, s.m)
+		if !got.Equal(want) {
+			t.Fatalf("%dx%dx%d: narrow-row kernel diverges from naive (max diff %g)", s.m, s.k, s.n, got.MaxAbsDiff(want))
+		}
+	}
+}
+
 // TestBandedGEMMBitwiseAtEveryBandCount forces every band split (including
-// counts this host would never pick) through the three kernels and demands
-// bitwise agreement with the single-band run — the property that makes the
-// parallelism threshold a pure performance knob.
+// counts this host would never pick) through the worker pool for all three
+// kernels and demands bitwise agreement with the single-band run — the
+// property that makes the parallelism threshold a pure performance knob.
+// Multi-band runs exercise the persistent pool's claim/wake/done path even
+// on hosts where gemmBands would stay serial.
 func TestBandedGEMMBitwiseAtEveryBandCount(t *testing.T) {
 	for _, s := range []struct{ m, k, n int }{
 		{1, 5, 9}, {5, 7, 11}, {13, 17, 19}, {64, 32, 48}, {81, 80, 79},
@@ -130,9 +192,12 @@ func TestBandedGEMMBitwiseAtEveryBandCount(t *testing.T) {
 			gotNN := New(s.m, s.n)
 			gotNT := New(s.m, s.n)
 			gotTN := New(s.m, s.n)
-			runBanded(s.m, bands, func(i0, i1 int) { matMulAccumRows(gotNN, a, b, i0, i1) })
-			runBanded(s.m, bands, func(i0, i1 int) { matMulNTRows(gotNT, a, bNT, i0, i1) })
-			runBanded(s.m, bands, func(i0, i1 int) { matMulTNRows(gotTN, aT, b, i0, i1) })
+			tNN := gemmTask{op: opNN, c: gotNN, a: a, b: b}
+			tNT := gemmTask{op: opNT, c: gotNT, a: a, b: bNT}
+			tTN := gemmTask{op: opTN, c: gotTN, a: aT, b: b}
+			runGEMM(&tNN, s.m, bands)
+			runGEMM(&tNT, s.m, bands)
+			runGEMM(&tTN, s.m, bands)
 			if !gotNN.Equal(wantNN) {
 				t.Fatalf("%dx%dx%d: NN diverges at %d bands", s.m, s.k, s.n, bands)
 			}
@@ -143,6 +208,43 @@ func TestBandedGEMMBitwiseAtEveryBandCount(t *testing.T) {
 				t.Fatalf("%dx%dx%d: TN diverges at %d bands", s.m, s.k, s.n, bands)
 			}
 		}
+	}
+}
+
+// TestGEMMPoolHammer launches many concurrent forced-band GEMMs so the race
+// detector sweeps the pool's claim/wake/done/return protocol — the pattern
+// the simulated cluster produces with one submitting goroutine per rank.
+func TestGEMMPoolHammer(t *testing.T) {
+	const goroutines = 8
+	const iters = 30
+	rng := NewRNG(99)
+	a := RandomMatrix(33, 17, rng)
+	b := RandomMatrix(17, 21, rng)
+	want := New(33, 21)
+	matMulAccumRows(want, a, b, 0, 33)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := New(33, 21)
+			for it := 0; it < iters; it++ {
+				c.Zero()
+				task := gemmTask{op: opNN, c: c, a: a, b: b}
+				runGEMM(&task, 33, 1+(g+it)%7)
+				if !c.Equal(want) {
+					errs <- fmt.Sprintf("goroutine %d iter %d: pooled GEMM diverges", g, it)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
 	}
 }
 

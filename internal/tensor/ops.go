@@ -28,7 +28,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		return NewPhantom(a.Rows, b.Cols)
 	}
 	c := New(a.Rows, b.Cols)
-	matMulAccum(c, a, b)
+	matMulAccum(c, a, b, epilogue{})
 	return c
 }
 
@@ -40,7 +40,46 @@ func MatMulInto(c, a, b *Matrix) {
 	if phantomAny(c, a, b) {
 		return
 	}
-	matMulAccum(c, a, b)
+	matMulAccum(c, a, b, epilogue{})
+}
+
+// MatMulBiasInto computes C += A·B and then adds the row vector bias to
+// every C row inside the GEMM's write-back, while the rows are cache-hot.
+// Bitwise identical to MatMulInto followed by AddRowVectorInPlace — the
+// fused epilogue performs the same per-element add in the same order (see
+// epilogue.go for the fusion contract).
+func MatMulBiasInto(c, a, b, bias *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto %dx%d += %dx%d * %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if bias.Rows*bias.Cols != c.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto bias of %d for %d cols", bias.Rows*bias.Cols, c.Cols))
+	}
+	if phantomAny(c, a, b, bias) {
+		return
+	}
+	matMulAccum(c, a, b, epilogue{bias: bias})
+}
+
+// MatMulBiasGELUInto computes pre += A·B, adds bias to every row, and writes
+// GELU(pre) into act — the whole linear-layer forward in one pass over the
+// output, with pre retaining the pre-activation for the backward. bias may
+// be nil to fuse only the activation. Bitwise identical to MatMulInto +
+// AddRowVectorInPlace + GELUTo run separately.
+func MatMulBiasGELUInto(act, pre, a, b, bias *Matrix) {
+	if a.Cols != b.Rows || pre.Rows != a.Rows || pre.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasGELUInto %dx%d += %dx%d * %dx%d", pre.Rows, pre.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if !act.SameShape(pre) {
+		panic(fmt.Sprintf("tensor: MatMulBiasGELUInto act %dx%d vs pre %dx%d", act.Rows, act.Cols, pre.Rows, pre.Cols))
+	}
+	if bias != nil && bias.Rows*bias.Cols != pre.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasGELUInto bias of %d for %d cols", bias.Rows*bias.Cols, pre.Cols))
+	}
+	if phantomAny(act, pre, a, b) || (bias != nil && bias.Phantom()) {
+		return
+	}
+	matMulAccum(pre, a, b, epilogue{bias: bias, act: act})
 }
 
 // MatMulNT returns C = A·Bᵀ. Large products take the packed path (transpose
@@ -55,7 +94,7 @@ func MatMulNT(a, b *Matrix) *Matrix {
 	}
 	c := New(a.Rows, b.Rows)
 	if NTPackProfitable(a.Rows, b.Rows, a.Cols) {
-		matMulNTPacked(c, a, b, New(a.Cols, b.Rows))
+		matMulNTPacked(c, a, b, New(a.Cols, b.Rows), epilogue{})
 	} else {
 		matMulNTKernel(c, a, b)
 	}
@@ -102,7 +141,7 @@ func MatMulNTIntoPacked(c, a, b, pack *Matrix) {
 	if phantomAny(c, a, b) {
 		return
 	}
-	matMulNTPacked(c, a, b, pack)
+	matMulNTPacked(c, a, b, pack, epilogue{})
 }
 
 // MatMulTNInto computes C += Aᵀ·B into an existing matrix (A.Cols×B.Cols).
@@ -115,6 +154,25 @@ func MatMulTNInto(c, a, b *Matrix) {
 		return
 	}
 	matMulTNKernel(c, a, b)
+}
+
+// MatMulTNIntoPacked computes C += Aᵀ·B like MatMulTNInto but through the
+// packed kernel, using the caller-supplied [A.Cols, A.Rows] scratch panel:
+// A is transposed once into the panel and the vectorised NN microkernels
+// accumulate C += panel·B (compute.MatMulTNInto draws the panel from the
+// worker's workspace when TNPackProfitable says the transpose pays for
+// itself). Bitwise identical to MatMulTNInto.
+func MatMulTNIntoPacked(c, a, b, pack *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTNIntoPacked %dx%d += %dx%dᵀ * %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if pack.Rows != a.Cols || pack.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTNIntoPacked pack %dx%d, want %dx%d", pack.Rows, pack.Cols, a.Cols, a.Rows))
+	}
+	if phantomAny(c, a, b) {
+		return
+	}
+	matMulTNPacked(c, a, b, pack)
 }
 
 // Transpose returns mᵀ.
@@ -164,9 +222,7 @@ func AddTo(dst, a, b *Matrix) {
 	if phantomAny(dst, a, b) {
 		return
 	}
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] + b.Data[i]
-	}
+	vaddTo(dst.Data, a.Data, b.Data)
 }
 
 // MulTo computes dst = a ⊙ b elementwise into an existing matrix. dst may
@@ -178,9 +234,7 @@ func MulTo(dst, a, b *Matrix) {
 	if phantomAny(dst, a, b) {
 		return
 	}
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] * b.Data[i]
-	}
+	vmulTo(dst.Data, a.Data, b.Data)
 }
 
 // AddInPlace computes a += b.
@@ -191,9 +245,7 @@ func AddInPlace(a, b *Matrix) {
 	if phantomAny(a, b) {
 		return
 	}
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	vaddIn(a.Data, b.Data)
 }
 
 // AxpyInPlace computes a += alpha*b.
@@ -201,12 +253,10 @@ func AxpyInPlace(a *Matrix, alpha float64, b *Matrix) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: AxpyInPlace %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	if phantomAny(a, b) {
+	if phantomAny(a, b) || len(a.Data) == 0 {
 		return
 	}
-	for i := range a.Data {
-		a.Data[i] += alpha * b.Data[i]
-	}
+	axpy(a.Data, b.Data, alpha)
 }
 
 // Scale returns alpha*m as a new matrix.
@@ -223,9 +273,10 @@ func Scale(alpha float64, m *Matrix) *Matrix {
 
 // ScaleInPlace computes m *= alpha.
 func ScaleInPlace(m *Matrix, alpha float64) {
-	for i := range m.Data {
-		m.Data[i] *= alpha
+	if len(m.Data) == 0 {
+		return
 	}
+	vscale(m.Data, alpha)
 }
 
 // Apply returns f applied elementwise.
@@ -260,11 +311,11 @@ func AddRowVectorInPlace(m, v *Matrix) {
 	if phantomAny(m, v) {
 		return
 	}
+	if m.Cols == 0 {
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, bv := range v.Data {
-			row[j] = row[j] + bv
-		}
+		vaddIn(m.Data[i*m.Cols:(i+1)*m.Cols], v.Data)
 	}
 }
 
@@ -290,11 +341,11 @@ func ColSumsInto(dst, m *Matrix) {
 	for j := range dst.Data {
 		dst.Data[j] = 0
 	}
+	if m.Cols == 0 {
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, v := range row {
-			dst.Data[j] += v
-		}
+		vaddIn(dst.Data, m.Data[i*m.Cols:(i+1)*m.Cols])
 	}
 }
 

@@ -69,11 +69,35 @@ import "fmt"
 // swap-removal.
 type Workspace struct {
 	free map[wsKey]*wsBucket
-	out  []*Matrix
+	// cache is a direct-mapped front for the free map: a training step asks
+	// for the same handful of shapes thousands of times, and the map lookup
+	// (hash + probe) was ~7% of a step. A shape's bucket is remembered in
+	// its hash slot on first lookup; collisions just fall back to the map.
+	cache [wsCacheSlots]wsCacheEntry
+	out   []*Matrix
 
 	pooling  bool
 	borrowed int
 	stats    WorkspaceStats
+}
+
+const wsCacheSlots = 64
+
+type wsCacheEntry struct {
+	key wsKey
+	b   *wsBucket
+}
+
+// cacheSlot hashes a shape key into the direct-mapped cache. The
+// multipliers spread the handful of near-power-of-two shapes a training
+// step cycles through across the slots, so two hot shapes rarely ping-pong
+// in one slot (each eviction costs a map probe).
+func cacheSlot(k wsKey) int {
+	h := k.rows*0x9E3779B1 + k.cols*0x85EBCA77
+	if k.phantom {
+		h += 1543
+	}
+	return (h ^ h>>7) & (wsCacheSlots - 1)
 }
 
 type wsKey struct {
@@ -150,10 +174,17 @@ func (ws *Workspace) GetUninitMatch(rows, cols int, phantom bool) *Matrix {
 func (ws *Workspace) get(k wsKey) *Matrix {
 	checkDims(k.rows, k.cols)
 	ws.stats.Gets++
-	bucket := ws.free[k]
-	if bucket == nil {
-		bucket = &wsBucket{}
-		ws.free[k] = bucket
+	var bucket *wsBucket
+	slot := cacheSlot(k)
+	if e := &ws.cache[slot]; e.b != nil && e.key == k {
+		bucket = e.b
+	} else {
+		bucket = ws.free[k]
+		if bucket == nil {
+			bucket = &wsBucket{}
+			ws.free[k] = bucket
+		}
+		ws.cache[slot] = wsCacheEntry{key: k, b: bucket}
 	}
 	var m *Matrix
 	if n := len(bucket.items); ws.pooling && n > 0 {

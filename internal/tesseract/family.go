@@ -91,7 +91,12 @@ func (f *Family) NewHead(in, out int, rng *tensor.RNG) parallel.Layer {
 
 // Distribute slices a replicated global activation into this rank's A
 // block (Figure 4a).
-func (f *Family) Distribute(global *tensor.Matrix) *tensor.Matrix { return f.p.DistributeA(global) }
+func (f *Family) Distribute(global *tensor.Matrix) *tensor.Matrix {
+	br, bc := f.p.ABlockShape(global.Rows, global.Cols)
+	local := f.p.W.Workspace().GetUninitMatch(br, bc, global.Phantom())
+	tensor.SubMatrixInto(local, global, f.p.BlockRow()*br, f.p.J*bc)
+	return local
+}
 
 // Collect reassembles an A-distributed activation on every rank.
 func (f *Family) Collect(local *tensor.Matrix) *tensor.Matrix { return f.p.CollectA(local) }

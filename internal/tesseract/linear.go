@@ -81,8 +81,12 @@ func (l *Linear) Params() []*nn.Param {
 }
 
 // Forward computes the local output block for a local A-distributed input x.
-// The input and the returned activation are retained for the backward pass,
-// so both live until the step-boundary ReleaseAll; bias receive buffers are
+// The bias is broadcast down the column first, then the SUMMA runs with the
+// bias add and the optional GELU fused into its final iteration's
+// write-back (summa.Epilogue) — one pass over the output instead of three,
+// bitwise identical to the separate passes. The input, the pre-activation
+// and the returned activation are retained for the backward pass, so they
+// live until the step-boundary ReleaseAll; bias receive buffers are
 // transient workspace scratch.
 func (l *Linear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In/p.Shape.Q {
@@ -91,23 +95,29 @@ func (l *Linear) Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix {
 	}
 	ws := p.W.Workspace()
 	l.x = x
-	y := p.MatMulAB(x, l.W.Value)
+	outCols := l.Out / p.Shape.Q
+	ph := x.Phantom() || l.W.Value.Phantom()
+	var epi summa.Epilogue
+	var biasScratch *tensor.Matrix
 	if l.hasBias {
 		if p.I == 0 {
-			bias := p.Col.BroadcastInto(p.W, p.ColRank(0), l.B.Value, l.B.Value)
-			compute.AddRowVectorInPlace(p.W, y, bias)
+			epi.Bias = p.Col.BroadcastInto(p.W, p.ColRank(0), l.B.Value, l.B.Value)
 		} else {
-			bias := ws.GetUninitMatch(1, y.Cols, l.W.Value.Phantom())
-			p.Col.BroadcastInto(p.W, p.ColRank(0), nil, bias)
-			compute.AddRowVectorInPlace(p.W, y, bias)
-			ws.Put(bias)
+			biasScratch = ws.GetUninitMatch(1, outCols, l.W.Value.Phantom())
+			p.Col.BroadcastInto(p.W, p.ColRank(0), nil, biasScratch)
+			epi.Bias = biasScratch
 		}
 	}
-	l.pre = y
 	if l.Act == nn.ActGELU {
-		act := ws.GetUninitMatch(y.Rows, y.Cols, y.Phantom())
-		compute.GELUTo(p.W, act, y)
-		return act
+		epi.Act = ws.GetUninitMatch(x.Rows, outCols, ph)
+	}
+	y := p.MatMulABEpi(x, l.W.Value, epi)
+	if biasScratch != nil {
+		ws.Put(biasScratch)
+	}
+	l.pre = y
+	if epi.Act != nil {
+		return epi.Act
 	}
 	return y
 }
@@ -128,8 +138,7 @@ func (l *Linear) Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix {
 	var dyScratch *tensor.Matrix
 	if l.Act == nn.ActGELU {
 		g := ws.GetUninitMatch(dy.Rows, dy.Cols, dy.Phantom() || l.pre.Phantom())
-		compute.GELUGradTo(p.W, g, l.pre)
-		compute.MulTo(p.W, g, dy, g)
+		compute.GELUGradHadamardTo(p.W, g, l.pre, dy)
 		dy, dyScratch = g, g
 	}
 	p.QueueGradSync(l.W, summa.MulATB(p.Proc, l.x, dy))

@@ -99,6 +99,13 @@ func (p *Proc) MatMulAB(a, b *tensor.Matrix) *tensor.Matrix {
 	return summa.MulAB(p.Proc, a, b)
 }
 
+// MatMulABEpi is MatMulAB with a fused bias/GELU epilogue applied inside
+// the final SUMMA iteration's write-back (bitwise identical to the separate
+// passes — see summa.Epilogue).
+func (p *Proc) MatMulABEpi(a, b *tensor.Matrix, epi summa.Epilogue) *tensor.Matrix {
+	return summa.MulABEpi(p.Proc, a, b, epi)
+}
+
 // MatMulABT computes C = A·Bᵀ (the activation-gradient product A' = C'·Bᵀ of
 // Eq. 3). The result is A-distributed.
 func (p *Proc) MatMulABT(a, b *tensor.Matrix) *tensor.Matrix {

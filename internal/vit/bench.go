@@ -79,7 +79,8 @@ func (sb *StepBencher) Steps(n int) error {
 		params := model.Params()
 		for i := 0; i < n; i++ {
 			logits := model.Forward(DistributeBatch(f, sb.x, sb.s))
-			_, dl := nn.CrossEntropy(logits, sb.labels)
+			dl := w.Workspace().GetUninitMatch(logits.Rows, logits.Cols, logits.Phantom())
+			nn.CrossEntropyInto(dl, logits, sb.labels)
 			for _, pa := range params {
 				pa.ZeroGrad()
 			}

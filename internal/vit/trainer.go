@@ -141,7 +141,8 @@ func TrainLayout(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc TrainConfi
 			for start := 0; start+tc.BatchSize <= len(order); start += tc.BatchSize {
 				x, labels := ds.Batch(ds.Train, order[start:start+tc.BatchSize])
 				logits := model.Forward(DistributeBatch(f, x, s))
-				loss, dlogits := nn.CrossEntropy(logits, labels)
+				dlogits := w.Workspace().GetUninitMatch(logits.Rows, logits.Cols, logits.Phantom())
+				loss := nn.CrossEntropyInto(dlogits, logits, labels)
 				lossSum += loss
 				correct += nn.CorrectCount(logits, labels)
 				seen += len(labels)

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR5.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR6.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -23,6 +23,12 @@ go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 # single cold iteration. The awk below keeps one row per benchmark with the
 # last line winning, so this pass overrides the smoke rows.
 go test -run '^$' -bench 'TesseractStep|FamilyStep' -benchtime 50x -benchmem . >> "$tmp"
+
+# The packed-kernel GFLOPS rows (PR 6): one cold iteration says nothing
+# about arithmetic throughput, so re-run the NN/NT/TN kernel benches long
+# enough for the timer to amortise warm-up. These rows override the smoke
+# rows the same way the step rows above do.
+go test -run '^$' -bench 'GEMMKernels' -benchtime 0.5s ./internal/tensor/ >> "$tmp"
 cat "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
