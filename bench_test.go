@@ -118,6 +118,60 @@ func BenchmarkTesseractStep(b *testing.B) {
 	}
 }
 
+// BenchmarkReshard measures the elastic checkpoint path at [2,2,2]: each
+// iteration is one training step with a full checkpoint collect plus a
+// same-layout restore — the cost a recovery pays. It reports
+// reshard_cost_ratio, the simulated (collect + restore) seconds over the
+// simulated seconds of a plain step: how many training steps one full
+// re-shard is worth. With -benchmem, allocations per iteration pin the
+// checkpoint's steady-state reuse of its buffers.
+func BenchmarkReshard(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	sb, err := vit.NewStepBencher(parallel.Layout{Family: "tesseract", Q: 2, D: 2}, ds, mcfg, tc, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cks := make([]*parallel.Checkpoint, 8)
+	if err := sb.StepsCheckpointed(2, cks); err != nil { // warm checkpoint buffers
+		b.Fatal(err)
+	}
+	// Simulated-clock accounting, measured once outside the timed loop: a
+	// plain-step window, then a collect+restore window.
+	sb.ResetClocks()
+	if err := sb.Steps(4); err != nil {
+		b.Fatal(err)
+	}
+	stepSec := sb.MaxClock() / 4
+	sb.ResetClocks()
+	if err := sb.StepsCheckpointed(1, cks); err != nil {
+		b.Fatal(err)
+	}
+	if err := sb.Restore(cks[0]); err != nil {
+		b.Fatal(err)
+	}
+	reshardSec := sb.MaxClock() - stepSec // the checkpointed window includes one step
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.StepsCheckpointed(1, cks); err != nil {
+			b.Fatal(err)
+		}
+		if err := sb.Restore(cks[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if stepSec > 0 {
+		b.ReportMetric(reshardSec/stepSec, "reshard_cost_ratio")
+	}
+}
+
 // BenchmarkFamilyStep measures the same steady-state ViT training step
 // under each tensor-parallel family, all driven through the one
 // parallel.Family interface — the refactor's cost is the gap (if any)

@@ -28,6 +28,7 @@ func main() {
 		overlap    = flag.Bool("overlap", false, "run the communication-overlap study (predicted vs measured)")
 		planner    = flag.Bool("planner", false, "run the auto-parallelism planner study (best layouts from search, not hard-coded)")
 		families   = flag.Bool("families", false, "run the cross-family parity study (all schemes through one parallel.Family interface)")
+		elastic    = flag.Bool("elastic", false, "run the elastic re-layout study (checkpoint, rank loss, replan, re-shard; cost vs step)")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -36,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*elastic && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -98,6 +99,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(tables.FormatFamilyParity(points))
+	}
+	if all || *elastic {
+		points, err := tables.ElasticStudy()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatElastic(points))
 	}
 }
 

@@ -11,8 +11,10 @@
 //	vit-train -family optimus -q 2
 //	vit-train -family tesseract -q 2 -d 2
 //	vit-train -plan 8                 # search layouts, train the best one
+//	vit-train -elastic                # lose a rank mid-run, replan, re-shard, resume
 //
-// Output is CSV: setting,epoch,loss,train_acc,test_acc.
+// Output is CSV: setting,epoch,loss,train_acc,test_acc (or
+// setting,step,loss in -elastic mode, where work is step- not epoch-based).
 package main
 
 import (
@@ -48,6 +50,8 @@ func main() {
 		d       = flag.Int("d", 1, "tesseract depth")
 		ranks   = flag.Int("ranks", 4, "tensor-parallel size for megatron")
 		planFor = flag.Int("plan", 0, "rank budget: search layouts with plan.Search and train the best candidate (overrides -family)")
+		elastic = flag.Bool("elastic", false, "elastic demo: train, lose the highest rank mid-run, replan, re-shard onto the survivors, resume")
+		failAt  = flag.Int("fail-step", 0, "with -elastic: global step the rank dies at (default: halfway)")
 	)
 	flag.Parse()
 
@@ -69,6 +73,20 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "vit-train: %d classes, %d train / %d test samples, seq %d, patch dim %d\n",
 		*classes, len(ds.Train), len(ds.Test), mcfg.SeqLen, mcfg.PatchDim)
+
+	if *elastic {
+		from := parallel.Layout{Family: "tesseract", Q: 2, D: 2}
+		if *family != "" {
+			from = parallel.Layout{Family: *family}
+			if *family == "megatron" {
+				from.Ranks = *ranks
+			} else {
+				from.Q, from.D = *q, *d
+			}
+		}
+		runElastic(from, *failAt, ds, mcfg, tc)
+		return
+	}
 
 	fmt.Println("setting,epoch,loss,train_acc,test_acc")
 	emit := func(h vit.History) {
@@ -141,22 +159,63 @@ func main() {
 }
 
 // pickTrainable returns the first (best-ranked) plan whose layout the ViT
-// trainer accepts — whole sequences per rank (batch % row shards) and a
-// patch embedding that splits over the mesh — plus how many better-ranked
-// candidates were skipped.
+// trainer accepts (vit.Trainable: whole sequences per rank and widths that
+// split over the mesh) plus how many better-ranked candidates were skipped.
 func pickTrainable(plans []plan.Plan, batch int, mcfg vit.ModelConfig) (plan.Plan, int) {
 	for i, p := range plans {
-		l, err := p.Layout().Normalize()
-		if err != nil {
-			continue
+		if vit.Trainable(p.Layout(), batch, mcfg) {
+			return p, i
 		}
-		if batch%l.RowShards() != 0 {
-			continue
-		}
-		if l.Q > 0 && (mcfg.PatchDim%l.Q != 0 || mcfg.Hidden%l.Q != 0 || mcfg.Heads%l.Q != 0) {
-			continue
-		}
-		return p, i
 	}
 	return plan.Plan{}, len(plans)
+}
+
+// runElastic is the -elastic mode: the full recovery loop with the failure
+// injected mid-run, reported as a step-indexed loss CSV plus a cost summary
+// on stderr.
+func runElastic(from parallel.Layout, failAt int, ds *vit.Dataset, mcfg vit.ModelConfig, tc vit.TrainConfig) {
+	spe := len(ds.Train) / tc.BatchSize
+	total := tc.Epochs * spe
+	if total < 2 {
+		fmt.Fprintln(os.Stderr, "vit-train: -elastic needs at least 2 total steps (raise -epochs or -train-per-class)")
+		os.Exit(1)
+	}
+	if failAt <= 0 {
+		failAt = total / 2
+	}
+	if failAt < 1 || failAt >= total {
+		fmt.Fprintf(os.Stderr, "vit-train: -fail-step %d outside (0, %d)\n", failAt, total)
+		os.Exit(1)
+	}
+	// The replanner may not collapse onto one survivor: the per-rank memory
+	// budget sits just below the whole model's single-rank footprint, the
+	// usual reason elasticity matters in the first place.
+	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+	topo := plan.Topology{MemoryBudget: megatron.PlanAlgo().Memory(w, plan.Grid{Ranks: 1}) - 1}
+	run, err := vit.TrainElastic(from, vit.ElasticConfig{
+		FailStep:   failAt,
+		TotalSteps: total,
+		FailRank:   -1,
+		Algos:      algos,
+		Topology:   topo,
+	}, ds, mcfg, tc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vit-train:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "vit-train: %v\n", run.Failure)
+	fmt.Fprintf(os.Stderr, "vit-train: replanned %s → %s over %d survivors\n", run.From, run.To, run.From.Ranks-1)
+	fmt.Fprintf(os.Stderr, "vit-train: re-shard cost: collect %.3gs + restore %.3gs ≈ %.1f training steps (%.3gs each)\n",
+		run.CollectSeconds, run.RestoreSeconds,
+		(run.CollectSeconds+run.RestoreSeconds)/run.StepSeconds, run.StepSeconds)
+	fmt.Println("setting,step,loss")
+	for s, loss := range run.Losses {
+		l := run.From
+		if s >= run.FailStep {
+			l = run.To
+		}
+		fmt.Printf("%s,%d,%.6f\n", l, s+1, loss)
+	}
+	fmt.Fprintln(os.Stderr, "vit-train: done — the post-reshard curve continues the pre-failure trajectory")
 }

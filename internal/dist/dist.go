@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,6 +23,34 @@ type Config struct {
 // cluster has aborted; Run's wrapper swallows it.
 type abortSignal struct{}
 
+// Failure is the structured abort cause: which rank failed, at what
+// simulated clock, and why. It is the error Run returns when a worker fails
+// (errors.As recovers it through any wrapping), the error a poisoned
+// cluster keeps reporting, and the starting point for elastic recovery —
+// Survivors and Recover are derived from the recorded failures.
+type Failure struct {
+	// Rank is the cluster rank whose function failed or panicked.
+	Rank int
+	// Clock is the rank's simulated time at the failure, in seconds.
+	Clock float64
+	// Panicked distinguishes a panic from a returned error.
+	Panicked bool
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error names the worker, the failure clock and the cause.
+func (f *Failure) Error() string {
+	verb := "failed"
+	if f.Panicked {
+		verb = "panicked"
+	}
+	return fmt.Sprintf("dist: worker %d %s at t=%.6gs: %v", f.Rank, verb, f.Clock, f.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (f *Failure) Unwrap() error { return f.Err }
+
 // Cluster is a set of simulated workers plus their shared plumbing: group
 // cache, point-to-point mailboxes, clocks, statistics and abort state.
 type Cluster struct {
@@ -39,6 +68,9 @@ type Cluster struct {
 	abort     chan struct{}
 	abortOnce sync.Once
 	abortErr  error
+
+	failMu   sync.Mutex
+	failures []*Failure
 }
 
 // New builds a cluster with WorldSize workers. It panics on a non-positive
@@ -93,15 +125,15 @@ func (c *Cluster) Run(fn func(w *Worker) error) error {
 					if _, quiet := r.(abortSignal); quiet {
 						return
 					}
-					err := fmt.Errorf("dist: worker %d panicked: %v", w.rank, r)
-					errs[w.rank] = err
-					c.abortWith(err)
+					f := &Failure{Rank: w.rank, Clock: w.clock, Panicked: true, Err: fmt.Errorf("%v", r)}
+					errs[w.rank] = f
+					c.recordFailure(f)
 				}
 			}()
 			if err := fn(w); err != nil {
-				wrapped := fmt.Errorf("dist: worker %d failed: %w", w.rank, err)
-				errs[w.rank] = wrapped
-				c.abortWith(wrapped)
+				f := &Failure{Rank: w.rank, Clock: w.clock, Err: err}
+				errs[w.rank] = f
+				c.recordFailure(f)
 			}
 		}(w)
 	}
@@ -126,6 +158,74 @@ func (c *Cluster) abortWith(err error) {
 		c.abortErr = err
 		close(c.abort)
 	})
+}
+
+// recordFailure registers a worker failure and poisons the cluster with the
+// first one.
+func (c *Cluster) recordFailure(f *Failure) {
+	c.failMu.Lock()
+	c.failures = append(c.failures, f)
+	c.failMu.Unlock()
+	c.abortWith(f)
+}
+
+// Failure returns the abort cause — the lowest-rank recorded failure, for
+// determinism when several ranks fail in one run — or nil if the cluster
+// has not aborted (or aborted without a worker failure on record).
+func (c *Cluster) Failure() *Failure {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	var first *Failure
+	for _, f := range c.failures {
+		if first == nil || f.Rank < first.Rank {
+			first = f
+		}
+	}
+	return first
+}
+
+// Failures returns every recorded worker failure, sorted by rank.
+func (c *Cluster) Failures() []*Failure {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	out := append([]*Failure(nil), c.failures...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Survivors returns the ranks that never failed, in ascending order. On a
+// healthy cluster that is every rank.
+func (c *Cluster) Survivors() []int {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	dead := make(map[int]bool, len(c.failures))
+	for _, f := range c.failures {
+		dead[f.Rank] = true
+	}
+	out := make([]int, 0, len(c.workers)-len(dead))
+	for r := range c.workers {
+		if !dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Recover constructs a fresh cluster over the surviving rank budget — same
+// cost model and node mapping, world size shrunk to the survivor count —
+// so a driver that caught an abort can replan and resume instead of staying
+// permanently poisoned. The poisoned cluster itself is left untouched (its
+// Failure record keeps reporting the original cause); simulated clocks and
+// statistics start from zero on the new cluster.
+func (c *Cluster) Recover() (*Cluster, error) {
+	if c.abortedErr() == nil {
+		return nil, fmt.Errorf("dist: Recover on a healthy cluster")
+	}
+	n := len(c.Survivors())
+	if n == 0 {
+		return nil, fmt.Errorf("dist: no surviving ranks to recover onto")
+	}
+	return New(Config{WorldSize: n, GPUsPerNode: c.cfg.GPUsPerNode, Cost: c.cfg.Cost}), nil
 }
 
 // abortedErr returns the poisoning error, if any.

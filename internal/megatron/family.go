@@ -60,7 +60,7 @@ func (f *Family) RowShards() int { return 1 }
 // replicated input to a replicated output (the ViT patch embedding) is
 // computed redundantly on every rank, exactly like the classifier head.
 func (f *Family) NewLinear(in, out int, act nn.Activation, bias bool, rng *tensor.RNG) parallel.Layer {
-	return parallel.NewReplicatedLinear(f.p.W, in, out, act, bias, rng)
+	return parallel.NewReplicatedLinearAt(f.p.W, f.layout.Base, in, out, act, bias, rng)
 }
 
 // NewBlock builds one Megatron-parallel Transformer block via the shared
@@ -87,9 +87,10 @@ func (f *Family) NewLayerNorm(h int) parallel.Layer {
 	return parallel.NewReplicatedLayerNorm(f.p.W, h)
 }
 
-// NewHead builds the replicated classifier head.
+// NewHead builds the replicated classifier head; the group base rank is its
+// checkpoint primary.
 func (f *Family) NewHead(in, out int, rng *tensor.RNG) parallel.Layer {
-	return parallel.NewReplicatedLinear(f.p.W, in, out, nn.ActNone, true, rng)
+	return parallel.NewReplicatedLinearAt(f.p.W, f.layout.Base, in, out, nn.ActNone, true, rng)
 }
 
 // Distribute is the identity: every rank holds the full activation.
@@ -129,6 +130,7 @@ type procModule interface {
 	Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix
 	Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix
 	Params() []*nn.Param
+	State(p *Proc) []parallel.State
 }
 
 // bound binds a sub-layer to its group view, adapting it to parallel.Layer.
@@ -140,3 +142,4 @@ type bound struct {
 func (b bound) Forward(x *tensor.Matrix) *tensor.Matrix   { return b.m.Forward(b.p, x) }
 func (b bound) Backward(dy *tensor.Matrix) *tensor.Matrix { return b.m.Backward(b.p, dy) }
 func (b bound) Params() []*nn.Param                       { return b.m.Params() }
+func (b bound) State() []parallel.State                   { return b.m.State(b.p) }

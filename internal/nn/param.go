@@ -114,6 +114,46 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// StepCount returns the number of Adam steps taken so far — the clock the
+// bias corrections run on. Checkpoints record it so a restored optimiser
+// resumes with the same corrections.
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount rewinds or advances the bias-correction clock, as when
+// restoring optimiser state from a checkpoint.
+func (a *Adam) SetStepCount(t int) {
+	a.t = t
+	a.cachedParams = nil
+}
+
+// Moments returns the first and second moment accumulators for p, or nils
+// if p has never been stepped (or is phantom).
+func (a *Adam) Moments(p *Param) (m, v *tensor.Matrix) {
+	if !a.ready {
+		return nil, nil
+	}
+	return a.m[p], a.v[p]
+}
+
+// SetMoments installs moment accumulators for p, replacing any existing
+// state. A nil m or v leaves that moment untouched (so the two can be
+// installed in separate calls). Used when restoring from a checkpoint; the
+// matrices are adopted, not copied.
+func (a *Adam) SetMoments(p *Param, m, v *tensor.Matrix) {
+	if !a.ready {
+		a.m = make(map[*Param]*tensor.Matrix)
+		a.v = make(map[*Param]*tensor.Matrix)
+		a.ready = true
+	}
+	if m != nil {
+		a.m[p] = m
+	}
+	if v != nil {
+		a.v[p] = v
+	}
+	a.cachedParams = nil
+}
+
 // cacheMatches reports whether the moment cache is aligned with params —
 // same parameters, same order.
 func (a *Adam) cacheMatches(params []*Param) bool {

@@ -52,6 +52,13 @@ func (b *Block) Params() []*nn.Param {
 	return append(out, b.Ln2.Params()...)
 }
 
+// State concatenates the sub-layers' canonical slots in Params order.
+func (b *Block) State() []State {
+	out := append(b.Attn.State(), b.Ln1.State()...)
+	out = append(out, b.Mlp.State()...)
+	return append(out, b.Ln2.State()...)
+}
+
 // Forward computes the block output on this rank's activation blocks.
 func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
 	ws := b.w.Workspace()

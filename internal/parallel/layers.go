@@ -26,14 +26,36 @@ type ReplicatedLinear struct {
 	*nn.Linear
 	w *dist.Worker
 
+	// primary is the one rank of the family that writes this layer's
+	// (replicated, bit-identical) parameters into a checkpoint.
+	primary int
+
 	x   *tensor.Matrix
 	pre *tensor.Matrix
 }
 
 // NewReplicatedLinear draws the full weight from rng (the serial stream)
-// and replicates it on the calling rank.
+// and replicates it on the calling rank, with rank 0 as the checkpoint
+// primary — right for families based at rank 0.
 func NewReplicatedLinear(w *dist.Worker, in, out int, act nn.Activation, bias bool, rng *tensor.RNG) *ReplicatedLinear {
-	return &ReplicatedLinear{Linear: nn.NewLinear(in, out, act, bias, rng), w: w}
+	return NewReplicatedLinearAt(w, 0, in, out, act, bias, rng)
+}
+
+// NewReplicatedLinearAt is NewReplicatedLinear with an explicit checkpoint
+// primary — families not based at rank 0 pass their base rank.
+func NewReplicatedLinearAt(w *dist.Worker, primary, in, out int, act nn.Activation, bias bool, rng *tensor.RNG) *ReplicatedLinear {
+	return &ReplicatedLinear{Linear: nn.NewLinear(in, out, act, bias, rng), w: w, primary: primary}
+}
+
+// State exposes the replicated weight (and bias, if present) as canonical
+// slots; only the primary rank contributes to a collect.
+func (l *ReplicatedLinear) State() []State {
+	p := l.w.Rank() == l.primary
+	out := []State{FullState(l.W, l.In, l.Out, p)}
+	if l.B != nil {
+		out = append(out, FullState(l.B, 1, l.Out, p))
+	}
+	return out
 }
 
 // Forward charges the GEMM and applies the layer out of pooled buffers.
@@ -194,6 +216,9 @@ func (l *ReplicatedLayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 // Params returns nil: Eq. 13 normalisation is parameter-free.
 func (l *ReplicatedLayerNorm) Params() []*nn.Param { return nil }
 
+// State returns nil: nothing to checkpoint.
+func (l *ReplicatedLayerNorm) State() []State { return nil }
+
 // Sequence chains layers: Forward applies them left to right, Backward
 // right to left. Megatron's MLP is a Sequence of its column- and
 // row-parallel linears.
@@ -225,6 +250,15 @@ func (s *Sequence) Params() []*nn.Param {
 	var out []*nn.Param
 	for _, l := range s.layers {
 		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// State concatenates the chain's canonical slots in layer order.
+func (s *Sequence) State() []State {
+	var out []State
+	for _, l := range s.layers {
+		out = append(out, l.State()...)
 	}
 	return out
 }

@@ -62,6 +62,11 @@ type Layer interface {
 	// Params returns the parameter shards this rank owns, in a
 	// deterministic order identical on every rank.
 	Params() []*nn.Param
+	// State enumerates the layer's canonical checkpoint slots — every rank
+	// returns the same ordered list of global shapes; each entry maps the
+	// rank's local shard (if any) into the canonical serial tensor. See
+	// Stater. Parameter-free layers return nil.
+	State() []State
 }
 
 // Slice is one rank's share of a replicated [Rows·shards, Cols·shards]

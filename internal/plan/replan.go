@@ -1,0 +1,32 @@
+package plan
+
+import "fmt"
+
+// Replan re-runs the layout search after a rank loss: the same workload and
+// machine, but at most surviving ranks. It is the planner half of the
+// elastic loop — dist reports which ranks died, Replan picks the best
+// layout the survivors can still run, and parallel.Reshard moves the
+// checkpoint onto it.
+//
+// ExactRanks is always relaxed (a shrunk fleet rarely matches a paper-exact
+// processor count), and the optional ok filter lets the caller reject
+// layouts it cannot instantiate — divisibility of the batch or model widths,
+// a family it cannot build — in which case the next-best plan is tried. The
+// returned plan is the best surviving candidate by predicted step time.
+func Replan(w Workload, t Topology, algos []Algo, surviving int, ok func(Plan) bool) (Plan, error) {
+	if surviving < 1 {
+		return Plan{}, fmt.Errorf("plan: cannot replan onto %d surviving ranks", surviving)
+	}
+	t.RankBudget = surviving
+	t.ExactRanks = false
+	plans, err := Search(w, t, algos)
+	if err != nil {
+		return Plan{}, fmt.Errorf("plan: replan onto %d ranks: %w", surviving, err)
+	}
+	for _, p := range plans {
+		if ok == nil || ok(p) {
+			return p, nil
+		}
+	}
+	return Plan{}, fmt.Errorf("plan: replan onto %d ranks: no candidate passed the instantiation filter", surviving)
+}

@@ -1,0 +1,177 @@
+package tables
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/vit"
+)
+
+// chainSegment trains `steps` fixed-batch ViT steps at layout l — seeding
+// the fresh model and optimiser from ck first when ck is non-nil — and
+// returns the resulting replicated checkpoint plus rank 0's last-step
+// logits (nil when steps == 0).
+func chainSegment(t *testing.T, l parallel.Layout, ck *parallel.Checkpoint, steps int,
+	mcfg vit.ModelConfig, tc vit.TrainConfig, x *tensor.Matrix, labels []int) (*parallel.Checkpoint, *tensor.Matrix) {
+	t.Helper()
+	l, err := parallel.Validate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dist.New(dist.Config{WorldSize: l.Ranks})
+	cks := make([]*parallel.Checkpoint, l.Ranks)
+	var logits *tensor.Matrix
+	err = c.Run(func(w *dist.Worker) error {
+		f, err := parallel.New(w, l)
+		if err != nil {
+			return err
+		}
+		model := vit.NewDistModel(f, mcfg)
+		opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+		if ck != nil {
+			if err := parallel.Reshard(f, model, opt, ck); err != nil {
+				return err
+			}
+		}
+		params := model.Params()
+		for s := 0; s < steps; s++ {
+			lg := model.Forward(vit.DistributeBatch(f, x, mcfg.SeqLen))
+			_, dl := nn.CrossEntropy(lg, labels)
+			if w.Rank() == 0 && s == steps-1 {
+				logits = lg.Clone()
+			}
+			for _, pa := range params {
+				pa.ZeroGrad()
+			}
+			model.Backward(dl)
+			opt.Step(params)
+			f.EndStep()
+		}
+		out, err := parallel.Collect(f, model, opt)
+		cks[w.Rank()] = out
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cks[0], logits
+}
+
+// requireBitwise fails unless two checkpoints agree in every slot, every
+// moment, and the optimiser step count — bit for bit.
+func requireBitwise(t *testing.T, want, got *parallel.Checkpoint, what string) {
+	t.Helper()
+	if got.Step != want.Step {
+		t.Errorf("%s: step count %d became %d", what, want.Step, got.Step)
+	}
+	if len(got.Slots) != len(want.Slots) {
+		t.Fatalf("%s: slot count %d became %d", what, len(want.Slots), len(got.Slots))
+	}
+	for i := range want.Slots {
+		a, b := want.Slots[i], got.Slots[i]
+		if !a.Value.Equal(b.Value) {
+			t.Errorf("%s: slot %d value drifted by %g", what, i, a.Value.MaxAbsDiff(b.Value))
+		}
+		if !a.M.Equal(b.M) {
+			t.Errorf("%s: slot %d first moment drifted by %g", what, i, a.M.MaxAbsDiff(b.M))
+		}
+		if !a.V.Equal(b.V) {
+			t.Errorf("%s: slot %d second moment drifted by %g", what, i, a.V.MaxAbsDiff(b.V))
+		}
+	}
+}
+
+// TestCheckpointRoundTripAllPairs is the cross-family re-shard property:
+// for every ordered (from, to) pair of the default family layouts, a
+// checkpoint collected at `from`, re-sharded onto a fresh model at `to`,
+// and collected again must reproduce the original bit for bit — the
+// canonical form is layout-independent, and staging plus one disjoint
+// all-reduce loses nothing.
+func TestCheckpointRoundTripAllPairs(t *testing.T) {
+	ds, mcfg, tc := elasticFixture()
+	x, labels := ds.Batch(ds.Train, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	layouts := DefaultFamilyLayouts()
+	for _, from := range layouts {
+		ck, _ := chainSegment(t, from, nil, 2, mcfg, tc, x, labels)
+		for _, to := range layouts {
+			t.Run(from.String()+"→"+to.String(), func(t *testing.T) {
+				back, _ := chainSegment(t, to, ck, 0, mcfg, tc, x, labels)
+				requireBitwise(t, ck, back, from.String()+" via "+to.String())
+			})
+		}
+	}
+}
+
+// TestCrossLayoutReshardChain walks a checkpoint through the shrinking
+// sequence the elastic path produces — tesseract [2,2,2] → tesseract
+// [2,2,1] → megatron [2], two training steps at each stop — and requires
+// the logits after every stop to match a serial model trained the same six
+// steps within 1e-8: re-sharding does not perturb the trajectory.
+func TestCrossLayoutReshardChain(t *testing.T) {
+	ds, mcfg, tc := elasticFixture()
+	x, labels := ds.Batch(ds.Train, []int{0, 1, 2, 3, 4, 5, 6, 7})
+
+	// Serial reference, capturing the logits at steps 2, 4 and 6.
+	model := vit.NewModel(mcfg)
+	opt := nn.NewAdam(tc.LR, tc.WeightDecay)
+	params := model.Params()
+	var ref []*tensor.Matrix
+	for s := 0; s < 6; s++ {
+		lg := model.Forward(x)
+		_, dl := nn.CrossEntropy(lg, labels)
+		if s%2 == 1 {
+			ref = append(ref, lg.Clone())
+		}
+		for _, pa := range params {
+			pa.ZeroGrad()
+		}
+		model.Backward(dl)
+		opt.Step(params)
+	}
+
+	chain := []parallel.Layout{
+		{Family: "tesseract", Q: 2, D: 2},
+		{Family: "tesseract", Q: 2, D: 1},
+		{Family: "megatron", Ranks: 2},
+	}
+	var ck *parallel.Checkpoint
+	for i, l := range chain {
+		var logits *tensor.Matrix
+		ck, logits = chainSegment(t, l, ck, 2, mcfg, tc, x, labels)
+		if logits == nil {
+			t.Fatalf("%s: no logits collected", l)
+		}
+		if d := logits.MaxAbsDiff(ref[i]); d > 1e-8 || math.IsNaN(d) {
+			t.Errorf("%s (steps %d-%d): logits diverged from serial by %g", l, 2*i+1, 2*i+2, d)
+		}
+	}
+}
+
+// TestElasticStudy runs the full table and checks its correctness columns:
+// every row must keep the post-reshard loss curve on the uninterrupted
+// trajectory and report a positive re-shard cost.
+func TestElasticStudy(t *testing.T) {
+	points, err := ElasticStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultFamilyLayouts()) {
+		t.Fatalf("%d rows for %d layouts", len(points), len(DefaultFamilyLayouts()))
+	}
+	for _, p := range points {
+		if p.MaxLossDev > 1e-8 {
+			t.Errorf("%s → %s: post-reshard loss deviates by %g", p.From, p.To, p.MaxLossDev)
+		}
+		if p.ReshardRatio <= 0 || math.IsInf(p.ReshardRatio, 0) || math.IsNaN(p.ReshardRatio) {
+			t.Errorf("%s → %s: degenerate re-shard ratio %g", p.From, p.To, p.ReshardRatio)
+		}
+		if p.To.Ranks >= p.From.Ranks {
+			t.Errorf("%s → %s: replan did not shrink the layout", p.From, p.To)
+		}
+	}
+	t.Log("\n" + FormatElastic(points))
+}

@@ -84,9 +84,10 @@ func (f *Family) NewLayerNorm(h int) parallel.Layer {
 	return bound{p: f.p, m: NewLayerNorm(f.p, h)}
 }
 
-// NewHead builds the replicated classifier head.
+// NewHead builds the replicated classifier head; the mesh base rank is its
+// checkpoint primary.
 func (f *Family) NewHead(in, out int, rng *tensor.RNG) parallel.Layer {
-	return parallel.NewReplicatedLinear(f.p.W, in, out, nn.ActNone, true, rng)
+	return parallel.NewReplicatedLinearAt(f.p.W, f.p.Shape.Base, in, out, nn.ActNone, true, rng)
 }
 
 // Distribute slices a replicated global activation into this rank's A
@@ -98,8 +99,20 @@ func (f *Family) Distribute(global *tensor.Matrix) *tensor.Matrix {
 	return local
 }
 
-// Collect reassembles an A-distributed activation on every rank.
-func (f *Family) Collect(local *tensor.Matrix) *tensor.Matrix { return f.p.CollectA(local) }
+// Collect reassembles an A-distributed activation on every rank, out of
+// pooled buffers: hidden columns gather along the grid row, sequence blocks
+// along the slab, mirroring GatherPooled but leaving ownership of local
+// with the caller (it is a saved activation, not a transient). The returned
+// matrix is a workspace buffer that lives until the step boundary.
+func (f *Family) Collect(local *tensor.Matrix) *tensor.Matrix {
+	p, ws := f.p, f.p.W.Workspace()
+	wide := ws.GetUninitMatch(local.Rows, p.Row.Size()*local.Cols, local.Phantom())
+	p.Row.AllGatherInto(p.W, local, wide)
+	full := ws.GetUninitMatch(p.Slab.Size()*wide.Rows, wide.Cols, wide.Phantom())
+	p.Slab.AllGatherInto(p.W, wide, full)
+	ws.Put(wide)
+	return full
+}
 
 // Slice reports the rank's share of a replicated [rows, cols] activation:
 // block row h = i + k·q of the d·q row partitions, grid column j of the q
@@ -136,6 +149,7 @@ type procModule interface {
 	Forward(p *Proc, x *tensor.Matrix) *tensor.Matrix
 	Backward(p *Proc, dy *tensor.Matrix) *tensor.Matrix
 	Params() []*nn.Param
+	State(p *Proc) []parallel.State
 }
 
 // bound binds a layer to its mesh view, adapting it to parallel.Layer.
@@ -147,6 +161,7 @@ type bound struct {
 func (b bound) Forward(x *tensor.Matrix) *tensor.Matrix   { return b.m.Forward(b.p, x) }
 func (b bound) Backward(dy *tensor.Matrix) *tensor.Matrix { return b.m.Backward(b.p, dy) }
 func (b bound) Params() []*nn.Param                       { return b.m.Params() }
+func (b bound) State() []parallel.State                   { return b.m.State(b.p) }
 
 // BlockLayer is the bound Block, kept as a named type so
 // Tesseract-specific callers (tests, hybrid's gradient inspection) can

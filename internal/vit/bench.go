@@ -92,6 +92,54 @@ func (sb *StepBencher) Steps(n int) error {
 	})
 }
 
+// StepsCheckpointed runs n training steps with a checkpoint collected after
+// every one — the elastic steady state the allocation tests and
+// BenchmarkReshard measure. cks must have one (possibly nil) slot per rank;
+// the checkpoints are built on first use and reused (and returned) so the
+// steady state allocates nothing.
+func (sb *StepBencher) StepsCheckpointed(n int, cks []*parallel.Checkpoint) error {
+	return sb.c.Run(func(w *dist.Worker) error {
+		f := sb.fams[w.Rank()]
+		model := sb.models[w.Rank()]
+		opt := sb.opts[w.Rank()]
+		params := model.Params()
+		for i := 0; i < n; i++ {
+			logits := model.Forward(DistributeBatch(f, sb.x, sb.s))
+			dl := w.Workspace().GetUninitMatch(logits.Rows, logits.Cols, logits.Phantom())
+			nn.CrossEntropyInto(dl, logits, sb.labels)
+			for _, pa := range params {
+				pa.ZeroGrad()
+			}
+			model.Backward(dl)
+			opt.Step(params)
+			f.EndStep()
+			ck, err := parallel.CollectInto(cks[w.Rank()], f, model, opt)
+			if err != nil {
+				return err
+			}
+			cks[w.Rank()] = ck
+		}
+		return nil
+	})
+}
+
+// Restore re-shards a checkpoint onto every rank's model and optimiser —
+// the same-layout restore path, used to measure re-shard cost against step
+// cost on one persistent cluster.
+func (sb *StepBencher) Restore(ck *parallel.Checkpoint) error {
+	return sb.c.Run(func(w *dist.Worker) error {
+		return parallel.Restore(sb.fams[w.Rank()], sb.models[w.Rank()], sb.opts[w.Rank()], ck)
+	})
+}
+
+// MaxClock exposes the cluster's largest simulated clock, and ResetClocks
+// starts a fresh timing window — the pair benchmarks use to attribute
+// simulated seconds to step, collect and restore phases separately.
+func (sb *StepBencher) MaxClock() float64 { return sb.c.MaxClock() }
+
+// ResetClocks zeroes the simulated clocks between phases.
+func (sb *StepBencher) ResetClocks() { sb.c.ResetClocks() }
+
 // SetPooling toggles workspace recycling on every rank — the switch the
 // bitwise property tests use to compare the pooled path against the plain
 // allocating path on identical models.

@@ -39,8 +39,21 @@ func NewDistModel(f parallel.Family, cfg ModelConfig) *DistModel {
 	for i := 0; i < cfg.Layers; i++ {
 		m.Blocks = append(m.Blocks, f.NewBlock(cfg.Hidden, cfg.Heads, cfg.SeqLen, rng))
 	}
-	m.Head = parallel.NewReplicatedLinear(f.Worker(), cfg.Hidden, cfg.Classes, nn.ActNone, true, rng)
+	// Built through the family so the head carries the family's checkpoint
+	// primary; every family's head is the replicated serial linear.
+	m.Head = f.NewHead(cfg.Hidden, cfg.Classes, rng).(*parallel.ReplicatedLinear)
 	return m
+}
+
+// State enumerates the model's canonical checkpoint slots in parameter
+// order (embedding, blocks, head) — the family-agnostic walk
+// parallel.Collect and parallel.Restore move training state through.
+func (m *DistModel) State() []parallel.State {
+	out := m.Embed.State()
+	for _, b := range m.Blocks {
+		out = append(out, b.State()...)
+	}
+	return append(out, m.Head.State()...)
 }
 
 // Params returns this processor's parameter shards plus the replicated head.

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR6.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR7.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -20,9 +20,12 @@ go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 # megatron} carries the PR 5 family-interface comparison: re-run them at 50
 # steps so allocs/step, ns/step and overlap_frac (comm seconds hidden
 # behind compute / total comm seconds) are steady-state numbers, not a
-# single cold iteration. The awk below keeps one row per benchmark with the
-# last line winning, so this pass overrides the smoke rows.
-go test -run '^$' -bench 'TesseractStep|FamilyStep' -benchtime 50x -benchmem . >> "$tmp"
+# single cold iteration. BenchmarkReshard (PR 7) rides along: its
+# reshard_cost_ratio — simulated (collect + restore) seconds over plain-step
+# seconds — prices a full elastic re-shard in training steps. The awk below
+# keeps one row per benchmark with the last line winning, so this pass
+# overrides the smoke rows.
+go test -run '^$' -bench 'TesseractStep|FamilyStep|Reshard' -benchtime 50x -benchmem . >> "$tmp"
 
 # The packed-kernel GFLOPS rows (PR 6): one cold iteration says nothing
 # about arithmetic throughput, so re-run the NN/NT/TN kernel benches long
@@ -46,7 +49,7 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 2; i <= NF; i++) {
         unit = $(i)
-        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err)$/) {
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err|reshard_cost_ratio)$/) {
             gsub(/[^A-Za-z0-9]/, "_", unit)
             extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
         }
