@@ -172,6 +172,64 @@ func BenchmarkReshard(b *testing.B) {
 	}
 }
 
+// BenchmarkStraggler prices the gray-failure watchdog on the acceptance
+// scenario: a 4× compute straggler on [2,2,2] after a clean probe window,
+// detected and re-laid-out by vit.TrainAdaptive. It reports
+// straggler_speedup_4x — the ride-it-out total simulated seconds over the
+// adaptive run's — and straggler_detect_step, where the watchdog fired.
+// Both come from simulated clocks, so they are stable run to run.
+func BenchmarkStraggler(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Noise: 0.3, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 21}
+	// The compute-bound machine model the straggler study uses: at
+	// accelerator FLOPS this fixture is α-dominated and the straggler would
+	// be invisible in the step clock.
+	cost := dist.CostModel{FLOPS: 1e8, Alpha: 1e-7, BetaIntra: 1.0 / 250e9, BetaInter: 1.0 / 6.25e9}
+	algos := tables.DefaultAlgos()
+	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
+	var budget int64
+	for _, a := range algos {
+		if a.Family == "megatron" {
+			budget = a.Memory(w, plan.Grid{Ranks: 1}) - 1
+		}
+	}
+	const total, probe = 24, 6
+	fp := &dist.FaultPlan{Ranks: []dist.RankFault{{Rank: 7, From: probe, To: dist.Forever, Factor: 4}}}
+	cfg := vit.AdaptiveConfig{
+		TotalSteps: total,
+		Probe:      probe,
+		Monitor:    dist.MonitorConfig{Window: probe, K: 2, W: 3},
+		Faults:     fp,
+		Algos:      algos,
+		Topology:   plan.Topology{Cost: cost, MemoryBudget: budget},
+	}
+	from := parallel.Layout{Family: "tesseract", Q: 2, D: 2}
+	rideOut, err := vit.TrainFaulty(from, fp, cost, ds, mcfg, tc, total)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var run *vit.AdaptiveRun
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err = vit.TrainAdaptive(from, cfg, ds, mcfg, tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if run.RelayoutStep < 0 {
+		b.Fatalf("watchdog did not re-layout: RodeOut=%v (%s)", run.RodeOut, run.RideOutReason)
+	}
+	b.ReportMetric(rideOut.Seconds/run.TotalSeconds, "straggler_speedup_4x")
+	b.ReportMetric(float64(run.DetectedStep), "straggler_detect_step")
+}
+
 // BenchmarkFamilyStep measures the same steady-state ViT training step
 // under each tensor-parallel family, all driven through the one
 // parallel.Family interface — the refactor's cost is the gap (if any)

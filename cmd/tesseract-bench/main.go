@@ -29,6 +29,7 @@ func main() {
 		planner    = flag.Bool("planner", false, "run the auto-parallelism planner study (best layouts from search, not hard-coded)")
 		families   = flag.Bool("families", false, "run the cross-family parity study (all schemes through one parallel.Family interface)")
 		elastic    = flag.Bool("elastic", false, "run the elastic re-layout study (checkpoint, rank loss, replan, re-shard; cost vs step)")
+		straggler  = flag.Bool("straggler", false, "run the gray-failure study (2×/4×/8× compute stragglers: ride out vs detect-and-re-layout)")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -37,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*elastic && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*elastic && !*straggler && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -106,6 +107,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(tables.FormatElastic(points))
+	}
+	if all || *straggler {
+		points, err := tables.StragglerStudy()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatStraggler(points))
 	}
 }
 

@@ -12,9 +12,11 @@
 //	vit-train -family tesseract -q 2 -d 2
 //	vit-train -plan 8                 # search layouts, train the best one
 //	vit-train -elastic                # lose a rank mid-run, replan, re-shard, resume
+//	vit-train -chaos -chaos-seed 7    # seeded gray faults; the watchdog detects and adapts
 //
 // Output is CSV: setting,epoch,loss,train_acc,test_acc (or
-// setting,step,loss in -elastic mode, where work is step- not epoch-based).
+// setting,step,loss in -elastic/-chaos modes, where work is step- not
+// epoch-based).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dist"
 	// Importing the family packages registers them with the parallel
 	// runtime; their PlanAlgo descriptors feed -plan's search.
 	"repro/internal/megatron"
@@ -52,6 +55,8 @@ func main() {
 		planFor = flag.Int("plan", 0, "rank budget: search layouts with plan.Search and train the best candidate (overrides -family)")
 		elastic = flag.Bool("elastic", false, "elastic demo: train, lose the highest rank mid-run, replan, re-shard onto the survivors, resume")
 		failAt  = flag.Int("fail-step", 0, "with -elastic: global step the rank dies at (default: halfway)")
+		chaos   = flag.Bool("chaos", false, "chaos demo: seeded gray faults (straggler, sick links, stalls); the watchdog detects and re-lays-out or rides out")
+		chaosAt = flag.Uint64("chaos-seed", 1, "with -chaos: seed for the generated fault plan")
 	)
 	flag.Parse()
 
@@ -74,7 +79,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "vit-train: %d classes, %d train / %d test samples, seq %d, patch dim %d\n",
 		*classes, len(ds.Train), len(ds.Test), mcfg.SeqLen, mcfg.PatchDim)
 
-	if *elastic {
+	if *elastic || *chaos {
 		from := parallel.Layout{Family: "tesseract", Q: 2, D: 2}
 		if *family != "" {
 			from = parallel.Layout{Family: *family}
@@ -84,7 +89,11 @@ func main() {
 				from.Q, from.D = *q, *d
 			}
 		}
-		runElastic(from, *failAt, ds, mcfg, tc)
+		if *chaos {
+			runChaos(from, *chaosAt, ds, mcfg, tc)
+		} else {
+			runElastic(from, *failAt, ds, mcfg, tc)
+		}
 		return
 	}
 
@@ -218,4 +227,73 @@ func runElastic(from parallel.Layout, failAt int, ds *vit.Dataset, mcfg vit.Mode
 		fmt.Printf("%s,%d,%.6f\n", l, s+1, loss)
 	}
 	fmt.Fprintln(os.Stderr, "vit-train: done — the post-reshard curve continues the pre-failure trajectory")
+}
+
+// runChaos is the -chaos mode: a seeded fault plan (one straggler, maybe a
+// sick link and transient stalls) hits the run, and the adaptive watchdog
+// decides whether demoting the straggler pays for the re-shard. The loss
+// CSV is unchanged by construction — gray faults move clocks, never
+// arithmetic.
+func runChaos(from parallel.Layout, seed uint64, ds *vit.Dataset, mcfg vit.ModelConfig, tc vit.TrainConfig) {
+	from, err := from.Normalize()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vit-train:", err)
+		os.Exit(1)
+	}
+	spe := len(ds.Train) / tc.BatchSize
+	total := tc.Epochs * spe
+	const probe = 6
+	if total < 4*probe {
+		fmt.Fprintf(os.Stderr, "vit-train: -chaos needs at least %d total steps so the fault lands after a clean probe window (raise -epochs or -train-per-class)\n", 4*probe)
+		os.Exit(1)
+	}
+	fp := dist.NewChaosPlan(seed, from.Ranks, total)
+	// The tiny ViT's arithmetic would vanish at accelerator FLOPS — the run
+	// would be α-dominated and a compute straggler invisible in the step
+	// clock. A scaled-down machine keeps the demo compute-bound, as the
+	// paper's real workloads are (same model as tables.StragglerStudy).
+	cost := dist.CostModel{FLOPS: 1e8, Alpha: 1e-7, BetaIntra: 1.0 / 250e9, BetaInter: 1.0 / 6.25e9}
+	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+	topo := plan.Topology{
+		Cost:         cost,
+		MemoryBudget: megatron.PlanAlgo().Memory(w, plan.Grid{Ranks: 1}) - 1,
+	}
+	run, err := vit.TrainAdaptive(from, vit.AdaptiveConfig{
+		TotalSteps: total,
+		Probe:      probe,
+		Monitor:    dist.MonitorConfig{Window: probe, K: 1.5, W: 3},
+		Faults:     fp,
+		Algos:      algos,
+		Topology:   topo,
+	}, ds, mcfg, tc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vit-train:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "vit-train: chaos seed %d over %d ranks: %d compute fault(s), %d link fault(s), %d stall(s)\n",
+		seed, from.Ranks, len(fp.Ranks), len(fp.Links), len(fp.Collectives))
+	if run.DetectedStep < 0 {
+		fmt.Fprintln(os.Stderr, "vit-train: watchdog saw no sustained straggler")
+	} else {
+		fmt.Fprintf(os.Stderr, "vit-train: watchdog flagged rank(s) %v at step %d (healthy %.3gs/step, degraded %.3gs/step)\n",
+			run.Suspects, run.DetectedStep, run.HealthyStepSeconds, run.DegradedStepSeconds)
+	}
+	switch {
+	case run.RelayoutStep >= 0:
+		fmt.Fprintf(os.Stderr, "vit-train: re-laid-out %s → %s at step %d (collect %.3gs + restore %.3gs)\n",
+			run.From, run.To, run.RelayoutStep, run.CollectSeconds, run.RestoreSeconds)
+	case run.RodeOut:
+		fmt.Fprintf(os.Stderr, "vit-train: rode the fault out: %s\n", run.RideOutReason)
+	}
+	fmt.Fprintf(os.Stderr, "vit-train: %d steps in %.3g simulated seconds\n", total, run.TotalSeconds)
+	fmt.Println("setting,step,loss")
+	for s, loss := range run.Losses {
+		l := run.From
+		if run.RelayoutStep >= 0 && s >= run.RelayoutStep {
+			l = run.To
+		}
+		fmt.Printf("%s,%d,%.6f\n", l, s+1, loss)
+	}
+	fmt.Fprintln(os.Stderr, "vit-train: done — gray faults stretch the clock, never the loss curve")
 }

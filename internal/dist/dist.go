@@ -17,6 +17,11 @@ type Config struct {
 	GPUsPerNode int
 	// Cost is the machine model; the zero value means MeluxinaModel().
 	Cost CostModel
+	// Faults is an optional gray-failure schedule charged to the simulated
+	// clock (see FaultPlan). Nil or empty means a pristine cluster; an empty
+	// plan is treated exactly like nil, so unperturbed runs stay bitwise
+	// identical. New panics on an invalid plan.
+	Faults *FaultPlan
 }
 
 // abortSignal is the panic value collectives raise to unwind a worker whose
@@ -65,6 +70,13 @@ type Cluster struct {
 	mail  *mailboxSet
 	stats *statsBook
 
+	// fault is the installed gray-failure schedule (nil when Config.Faults
+	// was nil or empty — the perturbation branches are then never taken).
+	// monitor is the optional telemetry sink workers report step samples to;
+	// both are set before any Run and immutable afterwards.
+	fault   *FaultPlan
+	monitor *Monitor
+
 	abort     chan struct{}
 	abortOnce sync.Once
 	abortErr  error
@@ -92,12 +104,37 @@ func New(cfg Config) *Cluster {
 		stats:  newStatsBook(cfg.WorldSize),
 		abort:  make(chan struct{}),
 	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Check(cfg.WorldSize); err != nil {
+			panic(err.Error())
+		}
+		c.fault = cfg.Faults
+	}
 	c.workers = make([]*Worker, cfg.WorldSize)
 	for r := range c.workers {
-		c.workers[r] = &Worker{c: c, rank: r}
+		c.workers[r] = &Worker{c: c, rank: r, slow: 1}
 	}
 	return c
 }
+
+// Faults returns the installed gray-failure schedule, or nil for a pristine
+// cluster (including one configured with an empty plan).
+func (c *Cluster) Faults() *FaultPlan { return c.fault }
+
+// AttachMonitor wires a telemetry sink sized for this cluster: every
+// Worker.EndStep reports its (total, busy) split to it. Call it before the
+// first Run; it panics on a second attach or a world-size mismatch. Returns
+// the monitor for convenience.
+func (c *Cluster) AttachMonitor(cfg MonitorConfig) *Monitor {
+	if c.monitor != nil {
+		panic("dist: cluster already has a monitor attached")
+	}
+	c.monitor = newMonitor(cfg, c.cfg.WorldSize)
+	return c.monitor
+}
+
+// Monitor returns the attached telemetry sink, or nil.
+func (c *Cluster) Monitor() *Monitor { return c.monitor }
 
 // WorldSize returns the number of ranks.
 func (c *Cluster) WorldSize() int { return c.cfg.WorldSize }

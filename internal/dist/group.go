@@ -87,6 +87,7 @@ type round struct {
 	filled  []bool
 	waited  []bool // per-member: a nonblocking handle already waited this slot
 	clocks  []float64
+	steps   []int // per-member step index at arrival, for fault activation
 	slots   []*tensor.Matrix
 	dsts    []*tensor.Matrix
 	results []*tensor.Matrix // per-member owned outputs (classic all-reduce)
@@ -178,6 +179,7 @@ func (g *Group) join(w *Worker, kind opKind, root, idx int, slot, dst *tensor.Ma
 	}
 	r.filled[idx] = true
 	r.clocks[idx] = w.clock
+	r.steps[idx] = w.step
 	r.slots[idx] = slot
 	r.dsts[idx] = dst
 	r.arrived++
@@ -263,6 +265,7 @@ func (g *Group) newRound(kind opKind, root int) *round {
 			r.filled[i] = false
 			r.waited[i] = false
 			r.clocks[i] = 0
+			r.steps[i] = 0
 			r.slots[i], r.dsts[i], r.results[i] = nil, nil, nil
 		}
 		r.completed.Store(false)
@@ -276,6 +279,7 @@ func (g *Group) newRound(kind opKind, root int) *round {
 		filled:  make([]bool, n),
 		waited:  make([]bool, n),
 		clocks:  make([]float64, n),
+		steps:   make([]int, n),
 		slots:   make([]*tensor.Matrix, n),
 		dsts:    make([]*tensor.Matrix, n),
 		results: make([]*tensor.Matrix, n),
@@ -404,6 +408,25 @@ func (g *Group) finish(rank int, r *round) {
 	case opBarrier:
 		r.newClock = r.commBase + cost.barrierTime(n)
 		g.c.stats.record(rank, statBarrier, 0, 0)
+	}
+	if f := g.c.fault; f != nil {
+		// The operation runs at the latest member step (faults activate by
+		// the furthest-along participant's window). Degraded links stretch
+		// the wire time, transient collective failures add their bounded
+		// retry/backoff stall, and the perturbed completion time carries into
+		// lastFinish — a sick link backs up the whole group channel.
+		step := r.steps[0]
+		for _, s := range r.steps[1:] {
+			if s > step {
+				step = s
+			}
+		}
+		if bf, ea := f.linkPerturb(g.ranks, step); bf != 1 || ea != 0 {
+			r.newClock = r.commBase + (r.newClock-r.commBase)*bf + ea
+		}
+		if d := f.collectiveDelay(g.ranks, step); d != 0 {
+			r.newClock += d
+		}
 	}
 	g.lastFinish = r.newClock
 }

@@ -21,6 +21,41 @@ type Worker struct {
 	// computing (nonblocking issue → Wait). Both reset with ResetClocks.
 	commTotal  float64
 	commHidden float64
+
+	// Step telemetry and fault state. step is the index the driving loop
+	// last passed to BeginStep (0 for loops that never call it); slow is the
+	// fault plan's compute-time factor for that step (always 1 without a
+	// plan); busy accumulates the seconds this rank spent on its own work —
+	// compute plus issued sends — since BeginStep. Total − busy is wait:
+	// time parked on collectives or inbound messages. busy matters because
+	// synchronized collectives drag every member's clock to the straggler's
+	// pace, so per-rank step totals equalise and cannot identify the
+	// straggler; busy time can.
+	step      int
+	slow      float64
+	busy      float64
+	stepStart float64
+}
+
+// BeginStep opens a telemetry window for one training step: it records the
+// step index (which also drives the fault plan's activation windows),
+// resolves this rank's compute slowdown for the step, and snapshots the
+// clock. Loops that never call it run at step 0 with no telemetry.
+func (w *Worker) BeginStep(step int) {
+	w.step = step
+	if w.c.fault != nil {
+		w.slow = w.c.fault.computeFactor(w.rank, step)
+	}
+	w.stepStart = w.clock
+	w.busy = 0
+}
+
+// EndStep closes the window opened by BeginStep and, when the cluster has a
+// monitor attached, reports the step's (total, busy) wall-clock split.
+func (w *Worker) EndStep() {
+	if w.c.monitor != nil {
+		w.c.monitor.record(w.rank, w.step, w.clock-w.stepStart, w.busy)
+	}
 }
 
 // Rank returns the cluster rank.
@@ -41,14 +76,25 @@ func (w *Worker) Workspace() *tensor.Workspace {
 	return w.ws
 }
 
-// Compute advances the simulated clock by flops at the model's FLOPS rate.
+// Compute advances the simulated clock by flops at the model's FLOPS rate,
+// stretched by any active compute fault on this rank.
 func (w *Worker) Compute(flops float64) {
-	w.clock += flops / w.c.cost.FLOPS
+	t := flops / w.c.cost.FLOPS
+	if w.slow != 1 {
+		t *= w.slow
+	}
+	w.clock += t
+	w.busy += t
 }
 
 // ChargeGEMM charges the 2·m·n·k flops of an m×k by k×n multiply.
 func (w *Worker) ChargeGEMM(m, n, k float64) {
-	w.clock += 2 * m * n * k / w.c.cost.FLOPS
+	t := 2 * m * n * k / w.c.cost.FLOPS
+	if w.slow != 1 {
+		t *= w.slow
+	}
+	w.clock += t
+	w.busy += t
 }
 
 // matrixBytes prices a matrix by shape (phantoms cost the same as real
@@ -73,7 +119,14 @@ func (w *Worker) Send(dst int, m *tensor.Matrix) {
 		beta = w.c.cost.BetaInter
 	}
 	bytes := matrixBytes(m)
-	w.clock += w.c.cost.sendTime(bytes, beta)
+	t := w.c.cost.sendTime(bytes, beta)
+	if w.c.fault != nil {
+		if bf, ea := w.c.fault.linkPerturbPair(w.rank, dst, w.step); bf != 1 || ea != 0 {
+			t = t*bf + ea
+		}
+	}
+	w.clock += t
+	w.busy += t
 	w.c.stats.record(w.rank, statSend, 1, bytes)
 	w.c.mail.box(w.rank, dst).put(packet{m: m, clock: w.clock})
 }

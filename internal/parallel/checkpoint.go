@@ -1,12 +1,21 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
+
+// ErrCheckpointCorrupt is wrapped by every integrity failure: a slot whose
+// bytes no longer hash to the checksum CollectInto recorded. Restore and
+// Reshard verify before broadcasting, so a snapshot damaged between collect
+// and restore (a bad DIMM, a truncated transfer in the real-world analogue)
+// fails loudly instead of silently training from garbage.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 
 // Checkpoint is a family-agnostic replicated snapshot of a model: every
 // weight and both Adam moments in the canonical (serial) form, plus the
@@ -38,6 +47,57 @@ type Checkpoint struct {
 type CheckpointSlot struct {
 	Value *tensor.Matrix
 	M, V  *tensor.Matrix
+	// Sum is the FNV-1a digest over the slot's shapes and float bits,
+	// recorded by CollectInto and checked by Verify/Restore. Zero means
+	// "no checksum" (a hand-built slot), which verification skips.
+	Sum uint64
+}
+
+// sum hashes the slot's three tensors: shapes first, then every element's
+// bit pattern, so a single flipped mantissa bit — or a silently reshaped
+// buffer — changes the digest.
+func (e *CheckpointSlot) sum() uint64 {
+	h := uint64(14695981039346656037)
+	for _, m := range []*tensor.Matrix{e.Value, e.M, e.V} {
+		h = sumWord(h, uint64(m.Rows))
+		h = sumWord(h, uint64(m.Cols))
+		for r := 0; r < m.Rows; r++ {
+			for _, x := range m.Row(r) {
+				h = sumWord(h, math.Float64bits(x))
+			}
+		}
+	}
+	if h == 0 {
+		h = 1 // keep 0 meaning "no checksum"
+	}
+	return h
+}
+
+// sumWord folds one 64-bit word into an FNV-1a state byte by byte.
+func sumWord(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// Verify recomputes every slot's checksum and reports the first mismatch,
+// wrapping ErrCheckpointCorrupt. Slots without a checksum (Sum == 0) are
+// skipped.
+func (ck *Checkpoint) Verify() error {
+	for i := range ck.Slots {
+		e := &ck.Slots[i]
+		if e.Sum == 0 {
+			continue
+		}
+		if got := e.sum(); got != e.Sum {
+			return fmt.Errorf("parallel: slot %d (%dx%d): %w: checksum %#x, recorded %#x",
+				i, e.Value.Rows, e.Value.Cols, ErrCheckpointCorrupt, got, e.Sum)
+		}
+	}
+	return nil
 }
 
 // familyGroup returns the communicator spanning the family's ranks in
@@ -109,6 +169,7 @@ func CollectInto(ck *Checkpoint, f Family, m Stater, opt *nn.Adam) (*Checkpoint,
 		g.AllReduceInto(w, e.M, e.M)
 		stageCollect(e.V, s, ov)
 		g.AllReduceInto(w, e.V, e.V)
+		e.Sum = e.sum()
 	}
 	return ck, nil
 }
@@ -144,6 +205,14 @@ func Restore(f Family, m Stater, opt *nn.Adam, ck *Checkpoint) error {
 	g := w.Cluster().Group(ranks...)
 	root := l.Base
 	isRoot := w.Rank() == root
+	// Only the root's replica goes over the wire; verify it before a single
+	// byte is broadcast. The root erroring out unwinds the other ranks the
+	// same way a node loss does.
+	if isRoot {
+		if err := ck.Verify(); err != nil {
+			return err
+		}
+	}
 	for i, s := range slots {
 		if err := checkState(s); err != nil {
 			return fmt.Errorf("parallel: slot %d: %w", i, err)

@@ -1,11 +1,20 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/dist"
 )
+
+// ErrNoFeasible is the sentinel wrapped by every "no feasible layout"
+// failure: Search found no candidate inside the budgets, or Replan ran out
+// of candidates its caller could instantiate. Callers branch on it with
+// errors.Is (or errors.As on *NoFeasibleError for the replan details) to
+// distinguish "there is nothing to run" — ride out, degrade, alert — from a
+// malformed workload or topology.
+var ErrNoFeasible = errors.New("no feasible layout")
 
 // Workload describes the model a layout is being planned for: one stack of
 // Transformer blocks of the kind every scheme in this repository implements
@@ -216,14 +225,14 @@ func Search(w Workload, t Topology, algos []Algo) ([]Plan, error) {
 	}
 	if len(out) == 0 {
 		if tightest >= 0 {
-			return nil, fmt.Errorf("plan: no feasible layout within %s per rank (smallest candidate needs %s)",
-				FormatBytes(t.MemoryBudget), FormatBytes(tightest))
+			return nil, fmt.Errorf("plan: %w within %s per rank (smallest candidate needs %s)",
+				ErrNoFeasible, FormatBytes(t.MemoryBudget), FormatBytes(tightest))
 		}
 		constraint := "within"
 		if t.ExactRanks {
 			constraint = "using exactly"
 		}
-		return nil, fmt.Errorf("plan: no feasible layout %s %d ranks (check divisibility of batch/hidden/heads)", constraint, t.RankBudget)
+		return nil, fmt.Errorf("plan: %w %s %d ranks (check divisibility of batch/hidden/heads)", ErrNoFeasible, constraint, t.RankBudget)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		si, sj := out[i].Predicted.Step(), out[j].Predicted.Step()

@@ -1,18 +1,50 @@
 package plan
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
-// Replan re-runs the layout search after a rank loss: the same workload and
-// machine, but at most surviving ranks. It is the planner half of the
-// elastic loop — dist reports which ranks died, Replan picks the best
-// layout the survivors can still run, and parallel.Reshard moves the
-// checkpoint onto it.
+// NoFeasibleError is the structured outcome of a Replan that found nothing
+// to run: the surviving budget cannot satisfy the memory/divisibility
+// constraints, or every candidate was rejected by the caller's
+// instantiation filter. It wraps ErrNoFeasible (so errors.Is works) and
+// records the budget it failed under, so elastic drivers can decide to
+// ride out the degradation instead of treating the miss as a crash.
+type NoFeasibleError struct {
+	// Surviving is the rank budget the replan searched under.
+	Surviving int
+	// Filtered reports whether candidates existed but the instantiation
+	// filter rejected them all, as opposed to the search itself coming up
+	// empty.
+	Filtered bool
+	// Err is the underlying cause; it wraps ErrNoFeasible.
+	Err error
+}
+
+func (e *NoFeasibleError) Error() string {
+	return fmt.Sprintf("plan: replan onto %d ranks: %v", e.Surviving, e.Err)
+}
+
+// Unwrap exposes the cause — and through it ErrNoFeasible — to errors.Is.
+func (e *NoFeasibleError) Unwrap() error { return e.Err }
+
+// Replan re-runs the layout search after a rank loss or demotion: the same
+// workload and machine, but at most surviving ranks. It is the planner half
+// of the elastic loop — dist reports which ranks died (or the monitor which
+// are sick), Replan picks the best layout the survivors can still run, and
+// parallel.Reshard moves the checkpoint onto it.
 //
 // ExactRanks is always relaxed (a shrunk fleet rarely matches a paper-exact
 // processor count), and the optional ok filter lets the caller reject
 // layouts it cannot instantiate — divisibility of the batch or model widths,
 // a family it cannot build — in which case the next-best plan is tried. The
 // returned plan is the best surviving candidate by predicted step time.
+//
+// When no candidate survives, the error is a *NoFeasibleError wrapping
+// ErrNoFeasible; any other error (malformed workload, bad topology) is
+// returned as-is, so callers can tell "nothing fits" from "you asked
+// wrong".
 func Replan(w Workload, t Topology, algos []Algo, surviving int, ok func(Plan) bool) (Plan, error) {
 	if surviving < 1 {
 		return Plan{}, fmt.Errorf("plan: cannot replan onto %d surviving ranks", surviving)
@@ -21,6 +53,9 @@ func Replan(w Workload, t Topology, algos []Algo, surviving int, ok func(Plan) b
 	t.ExactRanks = false
 	plans, err := Search(w, t, algos)
 	if err != nil {
+		if errors.Is(err, ErrNoFeasible) {
+			return Plan{}, &NoFeasibleError{Surviving: surviving, Err: err}
+		}
 		return Plan{}, fmt.Errorf("plan: replan onto %d ranks: %w", surviving, err)
 	}
 	for _, p := range plans {
@@ -28,5 +63,9 @@ func Replan(w Workload, t Topology, algos []Algo, surviving int, ok func(Plan) b
 			return p, nil
 		}
 	}
-	return Plan{}, fmt.Errorf("plan: replan onto %d ranks: no candidate passed the instantiation filter", surviving)
+	return Plan{}, &NoFeasibleError{
+		Surviving: surviving,
+		Filtered:  true,
+		Err:       fmt.Errorf("%w: all %d candidates rejected by the instantiation filter", ErrNoFeasible, len(plans)),
+	}
 }

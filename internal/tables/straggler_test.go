@@ -1,0 +1,44 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStragglerStudy runs the full sweep and pins the acceptance scenario:
+// every severity is detected, the 4× straggler pays for a re-layout that
+// beats riding it out, and no row's loss curve drifts past 1e-8.
+func TestStragglerStudy(t *testing.T) {
+	points, err := StragglerStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultFamilyLayouts()) * len(StragglerFactors); len(points) != want {
+		t.Fatalf("got %d rows, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.DetectedStep < 0 {
+			t.Errorf("%s ×%g: straggler never detected", p.From, p.Factor)
+		}
+		if p.MaxLossDev > 1e-8 {
+			t.Errorf("%s ×%g: loss deviation %.3g exceeds 1e-8", p.From, p.Factor, p.MaxLossDev)
+		}
+		if p.RodeOut == (p.RelayoutStep >= 0) {
+			t.Errorf("%s ×%g: inconsistent outcome: RodeOut=%v RelayoutStep=%d", p.From, p.Factor, p.RodeOut, p.RelayoutStep)
+		}
+		if p.RodeOut && p.RideOutReason == "" {
+			t.Errorf("%s ×%g: ride-out without a reason", p.From, p.Factor)
+		}
+		if !p.RodeOut && p.Speedup <= 1 {
+			t.Errorf("%s ×%g: re-layout chosen but did not beat ride-out (%.2f×)", p.From, p.Factor, p.Speedup)
+		}
+		if p.Factor == 4 && p.From.Family == "tesseract" && p.RodeOut {
+			t.Errorf("tesseract ×4: expected a re-layout, rode out: %s", p.RideOutReason)
+		}
+	}
+	text := FormatStraggler(points)
+	if !strings.Contains(text, "Gray failures") || !strings.Contains(text, "max|Δloss|") {
+		t.Errorf("FormatStraggler output missing expected headings:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

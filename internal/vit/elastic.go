@@ -67,9 +67,14 @@ func stepBatch(ds *Dataset, tc TrainConfig, step int) []int {
 }
 
 // trainStep runs one full training step for global step index `step` and
-// returns its loss (replicated on every rank).
+// returns its loss (replicated on every rank). The step is bracketed by
+// Worker.BeginStep/EndStep, so the step index drives any installed fault
+// plan and the (total, busy) split reaches an attached monitor; on a bare
+// cluster the bracket is free and changes nothing.
 func trainStep(w *dist.Worker, f parallel.Family, model *DistModel, opt *nn.Adam,
 	ds *Dataset, tc TrainConfig, s, step int) float64 {
+	w.BeginStep(step)
+	defer w.EndStep()
 	x, labels := ds.Batch(ds.Train, stepBatch(ds, tc, step))
 	logits := model.Forward(DistributeBatch(f, x, s))
 	dl := w.Workspace().GetUninitMatch(logits.Rows, logits.Cols, logits.Phantom())
@@ -240,7 +245,10 @@ func TrainElastic(from parallel.Layout, cfg ElasticConfig, ds *Dataset, mcfg Mod
 		return Trainable(p.Layout(), tc.BatchSize, mcfg)
 	})
 	if err != nil {
-		return nil, err
+		// A *plan.NoFeasibleError passes through the %w wrap intact, so
+		// callers can errors.As it and decide the cluster is simply lost
+		// rather than treat the miss as a malfunction.
+		return nil, fmt.Errorf("vit: elastic replan after losing rank %d: %w", failRank, err)
 	}
 	to, err := parallel.Validate(best.Layout())
 	if err != nil {
