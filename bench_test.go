@@ -15,6 +15,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/parallel"
 	"repro/internal/plan"
+	"repro/internal/serve"
 	"repro/internal/tables"
 	"repro/internal/tensor"
 	"repro/internal/tesseract"
@@ -116,6 +117,49 @@ func BenchmarkTesseractStep(b *testing.B) {
 	if hidden, total := sb.Overlap(); total > 0 {
 		b.ReportMetric(hidden/total, "overlap-frac")
 	}
+}
+
+// BenchmarkServeStep measures the serving hot path at [2,2,2]: one op is
+// one saturated full batch through the continuous batcher and the forward —
+// assembly into the persistent batch buffer, the distributed forward, the
+// clock-sync barrier, the latency stamps. All b.N batches run inside a
+// single Serve call (one cluster Run), so per-op numbers are the steady
+// state. With -benchmem, allocations per batch pin the pooled serving path;
+// it also reports the simulated p50/p99 latency and saturated throughput of
+// the timed trace.
+func BenchmarkServeStep(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	const maxBatch = 8
+	srv, err := serve.NewServer(parallel.Layout{Family: "tesseract", Q: 2, D: 2}, ds, mcfg, tc,
+		serve.Config{MaxBatch: maxBatch, LatencyBudget: 0, QueueDepth: b.N * maxBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.TrainSteps(3); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Serve(serve.Saturated(2 * maxBatch)); err != nil { // warm pools and caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := srv.Serve(serve.Saturated(b.N * maxBatch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if len(rep.Batches) != b.N {
+		b.Fatalf("saturated trace ran %d batches, want %d", len(rep.Batches), b.N)
+	}
+	b.ReportMetric(rep.P50(), "serve_p50_s")
+	b.ReportMetric(rep.P99(), "serve_p99_s")
+	b.ReportMetric(rep.Throughput(), "serve_thru_rps")
 }
 
 // BenchmarkReshard measures the elastic checkpoint path at [2,2,2]: each

@@ -30,6 +30,7 @@ func main() {
 		families   = flag.Bool("families", false, "run the cross-family parity study (all schemes through one parallel.Family interface)")
 		elastic    = flag.Bool("elastic", false, "run the elastic re-layout study (checkpoint, rank loss, replan, re-shard; cost vs step)")
 		straggler  = flag.Bool("straggler", false, "run the gray-failure study (2×/4×/8× compute stragglers: ride out vs detect-and-re-layout)")
+		serving    = flag.Bool("serving", false, "run the serving study (continuous batching per family/layout) and the serving-objective planner")
 		speedups   = flag.Bool("speedups", false, "print the derived §4 speedups")
 		seqLen     = flag.Int("seqlen", tables.DefaultSeqLen, "Transformer sequence length")
 		layers     = flag.Int("layers", 1, "Transformer layers per model")
@@ -37,8 +38,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := checkTable(*table); err != nil {
+		fatal(err)
+	}
 	opts := tables.Options{SeqLen: *seqLen, Layers: *layers, NoRecompute: *noRecomp}
-	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*elastic && !*straggler && !*speedups && *table == ""
+	all := !*claimsOnly && !*memory && !*ablation && !*overlap && !*planner && !*families && !*elastic && !*straggler && !*serving && !*speedups && *table == ""
 
 	runTable := func(num string, rows []tables.Row, title string, derive func([]tables.TableResult) []tables.Speedup, label string) {
 		res, err := tables.RunTable(rows, opts)
@@ -115,6 +119,28 @@ func main() {
 		}
 		fmt.Println(tables.FormatStraggler(points))
 	}
+	if all || *serving {
+		points, err := tables.ServingStudy(tables.DefaultFamilyLayouts())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatServing(points))
+		pt, err := tables.ServingPlannerStudy(3, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tables.FormatServingPlanner(pt))
+	}
+}
+
+// checkTable rejects -table values the CLI does not know, so a typo ("-table
+// 3") is one actionable error instead of a silent run of nothing.
+func checkTable(v string) error {
+	switch v {
+	case "", "1", "2":
+		return nil
+	}
+	return fmt.Errorf("unknown -table %q (valid: 1, 2, or empty for both)", v)
 }
 
 func fatal(err error) {

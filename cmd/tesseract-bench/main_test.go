@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckTable: a typo'd -table is one actionable error, not a silent run
+// of nothing.
+func TestCheckTable(t *testing.T) {
+	for _, ok := range []string{"", "1", "2"} {
+		if err := checkTable(ok); err != nil {
+			t.Errorf("checkTable(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"3", "0", "12", "one", " 1"} {
+		err := checkTable(bad)
+		if err == nil {
+			t.Errorf("checkTable(%q) must error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "valid: 1, 2") {
+			t.Errorf("checkTable(%q) error %q does not name the valid values", bad, err)
+		}
+	}
+}

@@ -13,10 +13,11 @@
 //	vit-train -plan 8                 # search layouts, train the best one
 //	vit-train -elastic                # lose a rank mid-run, replan, re-shard, resume
 //	vit-train -chaos -chaos-seed 7    # seeded gray faults; the watchdog detects and adapts
+//	vit-train -serve -serve-rate 500/s -serve-budget 2ms   # train, then serve inference
 //
 // Output is CSV: setting,epoch,loss,train_acc,test_acc (or
 // setting,step,loss in -elastic/-chaos modes, where work is step- not
-// epoch-based).
+// epoch-based; or per-request serving records in -serve mode).
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"repro/internal/optimus"
 	"repro/internal/parallel"
 	"repro/internal/plan"
+	"repro/internal/serve"
 	"repro/internal/tesseract"
 	"repro/internal/vit"
 )
@@ -57,6 +59,14 @@ func main() {
 		failAt  = flag.Int("fail-step", 0, "with -elastic: global step the rank dies at (default: halfway)")
 		chaos   = flag.Bool("chaos", false, "chaos demo: seeded gray faults (straggler, sick links, stalls); the watchdog detects and re-lays-out or rides out")
 		chaosAt = flag.Uint64("chaos-seed", 1, "with -chaos: seed for the generated fault plan")
+
+		doServe   = flag.Bool("serve", false, "serving demo: train -serve-steps steps, then run inference through the continuous batcher")
+		srvRate   = flag.String("serve-rate", "burst", "with -serve: Poisson arrival rate (\"500/s\", \"0.5/ms\", \"200hz\"; \"burst\" = all at t=0)")
+		srvBudget = flag.String("serve-budget", "2ms", "with -serve: per-batch coalescing latency budget (\"2ms\", \"250us\", \"0.01s\")")
+		srvReqs   = flag.Int("serve-requests", 32, "with -serve: number of requests in the trace")
+		srvBatch  = flag.Int("serve-batch", 8, "with -serve: max batch size the batcher seals at")
+		srvDepth  = flag.Int("serve-depth", 32, "with -serve: admission queue depth (arrivals beyond it are rejected)")
+		srvSteps  = flag.Int("serve-steps", 3, "with -serve: training steps before serving")
 	)
 	flag.Parse()
 
@@ -79,19 +89,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "vit-train: %d classes, %d train / %d test samples, seq %d, patch dim %d\n",
 		*classes, len(ds.Train), len(ds.Test), mcfg.SeqLen, mcfg.PatchDim)
 
-	if *elastic || *chaos {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *elastic || *chaos || *doServe {
 		from := parallel.Layout{Family: "tesseract", Q: 2, D: 2}
 		if *family != "" {
-			from = parallel.Layout{Family: *family}
-			if *family == "megatron" {
-				from.Ranks = *ranks
-			} else {
-				from.Q, from.D = *q, *d
+			var err error
+			from, err = layoutFromFlags(*family, *q, *d, *ranks, set)
+			if err != nil {
+				fatalf("%v", err)
 			}
 		}
-		if *chaos {
+		switch {
+		case *doServe:
+			runServe(from, *srvRate, *srvBudget, *srvReqs, *srvBatch, *srvDepth, *srvSteps, ds, mcfg, tc)
+		case *chaos:
 			runChaos(from, *chaosAt, ds, mcfg, tc)
-		} else {
+		default:
 			runElastic(from, *failAt, ds, mcfg, tc)
 		}
 		return
@@ -104,10 +119,19 @@ func main() {
 		}
 	}
 	trainLayout := func(l parallel.Layout) {
-		hist, err := vit.TrainLayout(l, ds, mcfg, tc)
+		// Validate the layout against the model up front: an unknown family
+		// or an indivisible width is one actionable line on stderr, never a
+		// panic deep inside model construction.
+		nl, err := parallel.Validate(l)
+		if err == nil {
+			err = vit.TrainableErr(nl, tc.BatchSize, mcfg)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vit-train:", err)
-			os.Exit(1)
+			fatalf("%v", err)
+		}
+		hist, err := vit.TrainLayout(nl, ds, mcfg, tc)
+		if err != nil {
+			fatalf("%v", err)
 		}
 		emit(hist)
 	}
@@ -138,25 +162,9 @@ func main() {
 			best, best.Predicted.Step(), len(plans))
 		trainLayout(best.Layout())
 	case *family != "":
-		// Build the layout from the flags that apply to the family and
-		// reject the ones that don't — a silently dropped -d would train a
-		// different layout than the user asked for. Inapplicable values
-		// (optimus with -d 2) flow through to parallel.Validate's error.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		l := parallel.Layout{Family: *family}
-		if *family == "megatron" {
-			if set["q"] || set["d"] {
-				fmt.Fprintln(os.Stderr, "vit-train: -q/-d do not apply to the 1-D megatron family (use -ranks)")
-				os.Exit(1)
-			}
-			l.Ranks = *ranks
-		} else {
-			if set["ranks"] {
-				fmt.Fprintln(os.Stderr, "vit-train: -ranks applies only to -family megatron (use -q/-d)")
-				os.Exit(1)
-			}
-			l.Q, l.D = *q, *d
+		l, err := layoutFromFlags(*family, *q, *d, *ranks, set)
+		if err != nil {
+			fatalf("%v", err)
 		}
 		trainLayout(l)
 	default:
@@ -165,6 +173,71 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "vit-train: done — the claim holds iff the curves coincide with serial")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vit-train: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// layoutFromFlags builds the layout the -family/-q/-d/-ranks flags describe.
+// set marks flags the user passed explicitly; explicitly set flags that do
+// not apply to the family are rejected — a silently dropped -d would train a
+// different layout than the user asked for. Unknown family names flow
+// through to parallel.Validate's error at the call site.
+func layoutFromFlags(family string, q, d, ranks int, set map[string]bool) (parallel.Layout, error) {
+	l := parallel.Layout{Family: family}
+	if family == "megatron" {
+		if set["q"] || set["d"] {
+			return l, fmt.Errorf("-q/-d do not apply to the 1-D megatron family (use -ranks)")
+		}
+		l.Ranks = ranks
+		return l, nil
+	}
+	if set["ranks"] {
+		return l, fmt.Errorf("-ranks applies only to -family megatron (use -q/-d)")
+	}
+	l.Q, l.D = q, d
+	return l, nil
+}
+
+// runServe is the -serve mode: train a few steps, then drain one arrival
+// trace through the continuous batcher and print per-request records plus a
+// latency/throughput summary on stderr.
+func runServe(l parallel.Layout, rateS, budgetS string, n, maxBatch, depth, steps int,
+	ds *vit.Dataset, mcfg vit.ModelConfig, tc vit.TrainConfig) {
+	rate, err := serve.ParseRate(rateS)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	budget, err := serve.ParseDuration(budgetS)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv, err := serve.NewServer(l, ds, mcfg, tc, serve.Config{MaxBatch: maxBatch, LatencyBudget: budget, QueueDepth: depth})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := srv.TrainSteps(steps); err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := srv.Serve(serve.ArrivalConfig{N: n, Rate: rate, Seed: tc.Seed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "vit-train: %s served %d/%d requests (%d rejected) in %d batches (mean size %.2f) over %.3g simulated s\n",
+		srv.Layout(), rep.Completed, len(rep.Requests), rep.Rejected, len(rep.Batches), rep.MeanBatch(), rep.SimSeconds)
+	fmt.Fprintf(os.Stderr, "vit-train: latency p50 %.3gs p95 %.3gs p99 %.3gs; throughput %.1f req/s\n",
+		rep.P50(), rep.P95(), rep.P99(), rep.Throughput())
+	fmt.Println("request,arrive,batch_close,reply,latency,class")
+	for i, q := range rep.Requests {
+		if q.Rejected {
+			fmt.Printf("%d,%.6g,,,,rejected\n", i, q.Arrive)
+			continue
+		}
+		fmt.Printf("%d,%.6g,%.6g,%.6g,%.6g,%d\n", i, q.Arrive, q.BatchClose, q.Reply, q.Latency(), q.Class)
+	}
+	fmt.Fprintln(os.Stderr, "vit-train: done — same weights, same logits as the trainer's eval, batched continuously")
 }
 
 // pickTrainable returns the first (best-ranked) plan whose layout the ViT

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/vit"
+)
+
+// TestLayoutFromFlags: the flag→layout mapping per family, and rejection of
+// explicitly set flags that do not apply — a silently dropped -d would train
+// a different layout than asked for.
+func TestLayoutFromFlags(t *testing.T) {
+	l, err := layoutFromFlags("megatron", 2, 1, 8, map[string]bool{"ranks": true})
+	if err != nil || l.Ranks != 8 || l.Q != 0 {
+		t.Fatalf("megatron: got %+v, %v", l, err)
+	}
+	l, err = layoutFromFlags("tesseract", 2, 2, 4, map[string]bool{"q": true, "d": true})
+	if err != nil || l.Q != 2 || l.D != 2 {
+		t.Fatalf("tesseract: got %+v, %v", l, err)
+	}
+	if _, err := layoutFromFlags("megatron", 2, 1, 8, map[string]bool{"q": true}); err == nil || !strings.Contains(err.Error(), "-q/-d") {
+		t.Fatalf("megatron with -q must error actionably, got %v", err)
+	}
+	if _, err := layoutFromFlags("optimus", 2, 1, 8, map[string]bool{"ranks": true}); err == nil || !strings.Contains(err.Error(), "-ranks") {
+		t.Fatalf("optimus with -ranks must error actionably, got %v", err)
+	}
+}
+
+// TestLayoutValidationIsOneLine: the unknown-family and indivisible-layout
+// paths the CLI prints resolve to single actionable errors, never panics.
+func TestLayoutValidationIsOneLine(t *testing.T) {
+	l, err := layoutFromFlags("bogus", 2, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parallel.Validate(l); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("want unknown-family error, got %v", err)
+	}
+	mcfg := vit.ModelConfig{PatchDim: 48, SeqLen: 16, Hidden: 64, Heads: 4, Layers: 2, Classes: 10, Seed: 1}
+	err = vit.TrainableErr(parallel.Layout{Family: "megatron", Ranks: 3}, 8, mcfg)
+	if err == nil || !strings.Contains(err.Error(), "not divisible") || strings.Contains(err.Error(), "\n") {
+		t.Fatalf("want a one-line divisibility error, got %q", err)
+	}
+	err = vit.TrainableErr(parallel.Layout{Family: "tesseract", Q: 3, D: 1}, 9, mcfg)
+	if err == nil || !strings.Contains(err.Error(), "q=3") {
+		t.Fatalf("want a mesh-side divisibility error, got %v", err)
+	}
+}

@@ -61,6 +61,14 @@ func (w *Worker) EndStep() {
 // Rank returns the cluster rank.
 func (w *Worker) Rank() int { return w.rank }
 
+// Clock returns this worker's simulated seconds since the last ResetClocks.
+// Like every Worker method it must be called from the worker's own
+// goroutine. Ranks that need to agree on a time exactly must exchange it as
+// data (all-gather the per-rank clocks and reduce locally) rather than read
+// each other's clocks — that is how the serving runtime stamps batch
+// completions identically on every rank.
+func (w *Worker) Clock() float64 { return w.clock }
+
 // Cluster returns the owning cluster.
 func (w *Worker) Cluster() *Cluster { return w.c }
 

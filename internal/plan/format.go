@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -95,7 +96,9 @@ func ParseBytes(s string) (int64, error) {
 		return 0, fmt.Errorf("plan: cannot parse memory size %q", s)
 	}
 	v, err := strconv.ParseFloat(t, 64)
-	if err != nil || v < 0 {
+	// Sizes past int64 (e.g. "1e30GiB") must error: converting an
+	// out-of-range float64 to int64 is not a value, it's undefined.
+	if err != nil || v < 0 || math.IsNaN(v) || v*float64(mult) >= math.MaxInt64 {
 		return 0, fmt.Errorf("plan: cannot parse memory size %q", s)
 	}
 	return int64(v * float64(mult)), nil

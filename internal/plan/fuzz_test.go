@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"testing"
+)
+
+// FuzzParseBytes: never panic; on success the byte count is non-negative
+// (an out-of-range float→int64 conversion is undefined behaviour, so the
+// overflow guard must hold) and formatting it parses back.
+func FuzzParseBytes(f *testing.F) {
+	for _, s := range []string{
+		"4GiB", "512MiB", "2g", "1073741824", "1.5k", "0", "64kb", "10B",
+		"", "g", "-1g", "nan", "inf", "1e30GiB", "1e400", " 2 GiB ", "2gg",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseBytes(%q) accepted negative %d — overflow or sign slipped through", s, v)
+		}
+		round, err := ParseBytes(FormatBytes(v))
+		if err != nil {
+			t.Fatalf("ParseBytes(FormatBytes(%d) = %q) failed: %v", v, FormatBytes(v), err)
+		}
+		// Formatting rounds to one decimal, so only require the round trip
+		// to stay in the same ballpark, never to go negative or error.
+		if round < 0 {
+			t.Fatalf("round trip of %d through %q went negative: %d", v, FormatBytes(v), round)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseDuration: never panic; on success the value is a finite,
+// non-negative number of seconds.
+func FuzzParseDuration(f *testing.F) {
+	for _, s := range []string{
+		"2ms", "250us", "250µs", "100ns", "0.5s", "1e3us", "0.001", "0",
+		"", "ms", "-3ms", "nan", "inf", "1e400", " 2 ms ", "2MS", "--2ms", "2mss",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseDuration(s)
+		if err != nil {
+			return
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("ParseDuration(%q) accepted %v — must be finite and non-negative", s, v)
+		}
+	})
+}
+
+// FuzzParseRate: never panic; on success the value is positive — finite, or
+// exactly +Inf (the burst process).
+func FuzzParseRate(f *testing.F) {
+	for _, s := range []string{
+		"12/s", "0.5/ms", "200hz", "1500", "inf", "+inf", "burst", "Burst",
+		"", "/s", "hz", "0/s", "-5/s", "nan", "1e400", "12/m", "burst/s", " 12/s ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseRate(s)
+		if err != nil {
+			return
+		}
+		if !(v > 0) {
+			t.Fatalf("ParseRate(%q) accepted %v — must be positive", s, v)
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("ParseRate(%q) accepted NaN", s)
+		}
+		// +Inf is the burst rate and must round-trip through Times without
+		// error or panic.
+		if _, err := (ArrivalConfig{N: 3, Rate: v, Seed: 1}).Times(); err != nil {
+			t.Fatalf("ParseRate(%q) = %v but ArrivalConfig rejects it: %v", s, v, err)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseDuration reads a human latency budget into simulated seconds: a
+// number with an optional unit suffix s/ms/us/µs/ns ("2ms", "250us",
+// "0.5s"); a bare number means seconds. Negative, NaN and infinite budgets
+// are rejected.
+func ParseDuration(s string) (float64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := 1.0
+	for _, u := range []struct {
+		suffix string
+		mult   float64
+	}{
+		{"ms", 1e-3}, {"us", 1e-6}, {"µs", 1e-6}, {"ns", 1e-9}, {"s", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, fmt.Errorf("serve: cannot parse duration %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("serve: cannot parse duration %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseRate reads an arrival rate into requests per simulated second: a
+// number with an optional per-time suffix "/s", "/ms" or "hz" ("120/s",
+// "0.5/ms", "200hz"); a bare number means per second. "inf" or "burst"
+// (any case, optional leading +) means an instantaneous backlog — every
+// request at t=0. The rate must be positive.
+func ParseRate(s string) (float64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	switch strings.TrimPrefix(t, "+") {
+	case "inf", "burst":
+		return math.Inf(1), nil
+	}
+	mult := 1.0
+	for _, u := range []struct {
+		suffix string
+		mult   float64
+	}{
+		{"/ms", 1e3}, {"/s", 1}, {"hz", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, fmt.Errorf("serve: cannot parse rate %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("serve: cannot parse rate %q", s)
+	}
+	return v * mult, nil
+}

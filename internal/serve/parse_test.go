@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseDuration(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"2ms", 2e-3},
+		{"250us", 250e-6},
+		{"250µs", 250e-6},
+		{"100ns", 100e-9},
+		{"0.5s", 0.5},
+		{"1e3us", 1e-3},
+		{"0.001", 1e-3}, // bare number = seconds
+		{"0", 0},
+		{"0ms", 0},
+		{" 2 ms ", 2e-3},
+		{"2MS", 2e-3},
+	} {
+		got, err := ParseDuration(tc.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-18 {
+			t.Errorf("ParseDuration(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "ms", "-3ms", "2mss", "nan", "inf", "+inf", "1e400", "2 m s", "--2ms"} {
+		if v, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) = %g, want error", bad, v)
+		}
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"12/s", 12},
+		{"0.5/ms", 500},
+		{"200hz", 200},
+		{"200Hz", 200},
+		{"1500", 1500}, // bare number = per second
+		{"inf", math.Inf(1)},
+		{"INF", math.Inf(1)},
+		{"+inf", math.Inf(1)},
+		{"burst", math.Inf(1)},
+		{"Burst", math.Inf(1)},
+		{" 12/s ", 12},
+	} {
+		got, err := ParseRate(tc.in)
+		if err != nil {
+			t.Errorf("ParseRate(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want && math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ParseRate(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "/s", "hz", "0/s", "-5/s", "nan", "1e400", "12/m", "burst/s"} {
+		if v, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) = %g, want error", bad, v)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestServingStudy: every default family layout serves the paced trace to
+// completion with sane tail latencies.
+func TestServingStudy(t *testing.T) {
+	points, err := ServingStudy(DefaultFamilyLayouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultFamilyLayouts()) {
+		t.Fatalf("want %d rows, got %d", len(DefaultFamilyLayouts()), len(points))
+	}
+	for _, p := range points {
+		if p.Saturated <= 0 || p.Throughput <= 0 {
+			t.Fatalf("%s: non-positive throughput %+v", p.Layout, p)
+		}
+		if !(p.P50 > 0 && p.P50 <= p.P95 && p.P95 <= p.P99) {
+			t.Fatalf("%s: percentiles not ordered: p50 %.6g p95 %.6g p99 %.6g", p.Layout, p.P50, p.P95, p.P99)
+		}
+		if p.Requests != 64 {
+			t.Fatalf("%s: paced trace carried %d requests, want 64", p.Layout, p.Requests)
+		}
+	}
+	out := FormatServing(points)
+	for _, want := range []string{"p50(s)", "thru(r/s)", "megatron", "tesseract"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatServing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServingPlannerStudyWithin25Percent is the acceptance gate: plan.Search
+// under the serving objective ranks layouts whose serve.MeasureLayout replay
+// confirms the prediction within the 25% bound, for the top 3 candidates.
+func TestServingPlannerStudyWithin25Percent(t *testing.T) {
+	pt, err := ServingPlannerStudy(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Validations) != 3 {
+		t.Fatalf("want 3 validated leaders, got %d", len(pt.Validations))
+	}
+	if got := plan.MaxServingErr(pt.Validations); got > 0.25 {
+		t.Fatalf("serving predicted-vs-measured error %.1f%% exceeds the 25%% bound:\n%s",
+			100*got, plan.FormatServingValidations("validations", pt.Validations))
+	}
+	for _, v := range pt.Validations {
+		if v.ThrErr > 0.25 {
+			t.Fatalf("%s: throughput error %.1f%% exceeds 25%%", v.Plan, 100*v.ThrErr)
+		}
+	}
+	if pt.Best().Grid.Ranks != 64 {
+		t.Fatalf("serving best %s does not use the exact 64-rank budget", pt.Best())
+	}
+	out := FormatServingPlanner(pt)
+	for _, want := range []string{"serving best", "training best", "meas-min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatServingPlanner missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -22,6 +22,10 @@ type StepBencher struct {
 	x      *tensor.Matrix
 	labels []int
 	s      int
+
+	ds    *Dataset
+	tc    TrainConfig
+	steps int // trainer-path steps taken so far (TrainSteps indices)
 }
 
 // NewStepBencher builds the cluster, the per-rank models and optimisers, and
@@ -42,6 +46,8 @@ func NewStepBencher(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc TrainCo
 		models: make([]*DistModel, world),
 		opts:   make([]*nn.Adam, world),
 		s:      mcfg.SeqLen,
+		ds:     ds,
+		tc:     tc,
 	}
 	idx := make([]int, tc.BatchSize)
 	for i := range idx {
@@ -90,6 +96,47 @@ func (sb *StepBencher) Steps(n int) error {
 		}
 		return nil
 	})
+}
+
+// TrainSteps advances every rank n steps down the trainer's exact step path
+// (epoch-shuffled batches, flat step indices continuing across calls) — the
+// reference the serving runtime's TrainSteps is compared against bitwise.
+func (sb *StepBencher) TrainSteps(n int) error {
+	start := sb.steps
+	err := sb.c.Run(func(w *dist.Worker) error {
+		r := w.Rank()
+		for step := start; step < start+n; step++ {
+			trainStep(w, sb.fams[r], sb.models[r], sb.opts[r], sb.ds, sb.tc, sb.s, step)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sb.steps += n
+	return nil
+}
+
+// EvalLogits runs the trainer's eval forward (evalDist's padded per-batch
+// body) over the given test rows and returns a copy of the replicated
+// logits for the real rows — what the trainer would classify these samples
+// as, bit for bit.
+func (sb *StepBencher) EvalLogits(idx []int) (*tensor.Matrix, error) {
+	var out *tensor.Matrix
+	err := sb.c.Run(func(w *dist.Worker) error {
+		r := w.Rank()
+		logits := evalForward(sb.fams[r], sb.models[r], sb.ds, idx, sb.s)
+		if r == 0 {
+			out = tensor.New(len(idx), logits.Cols)
+			tensor.SubMatrixInto(out, logits, 0, 0)
+		}
+		sb.fams[r].EndStep()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // StepsCheckpointed runs n training steps with a checkpoint collected after

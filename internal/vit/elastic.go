@@ -89,6 +89,15 @@ func trainStep(w *dist.Worker, f parallel.Family, model *DistModel, opt *nn.Adam
 	return loss
 }
 
+// TrainStep is the exported trainer step: callers that hold their own
+// cluster and per-rank models (the serving runtime, the step bencher)
+// advance them down the exact path TrainLayoutSteps walks, so equally
+// trained models are bitwise identical however they were driven.
+func TrainStep(w *dist.Worker, f parallel.Family, model *DistModel, opt *nn.Adam,
+	ds *Dataset, tc TrainConfig, s, step int) float64 {
+	return trainStep(w, f, model, opt, ds, tc.withDefaults(), s, step)
+}
+
 // TrainLayoutSteps trains at one layout for a flat number of steps and
 // returns the per-step loss curve — the uninterrupted reference TrainElastic
 // runs are compared against.
@@ -130,18 +139,40 @@ func TrainLayoutSteps(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc Train
 // and the elastic replan use to skip layouts the searcher likes but the
 // model cannot run.
 func Trainable(l parallel.Layout, batch int, mcfg ModelConfig) bool {
+	return TrainableErr(l, batch, mcfg) == nil
+}
+
+// TrainableErr is Trainable with the reason: nil when the layout can train
+// the model, otherwise one actionable error naming the dimension that does
+// not divide — what the CLIs print instead of panicking deep inside model
+// construction.
+func TrainableErr(l parallel.Layout, batch int, mcfg ModelConfig) error {
 	l, err := l.Normalize()
 	if err != nil {
-		return false
+		return err
 	}
 	if batch%l.RowShards() != 0 {
-		return false
+		return fmt.Errorf("vit: batch %d not divisible by %s's %d row shards", batch, l, l.RowShards())
 	}
 	if l.Q > 0 {
-		return mcfg.PatchDim%l.Q == 0 && mcfg.Hidden%l.Q == 0 && mcfg.Heads%l.Q == 0
+		switch {
+		case mcfg.PatchDim%l.Q != 0:
+			return fmt.Errorf("vit: patch dim %d not divisible by %s's mesh side q=%d", mcfg.PatchDim, l, l.Q)
+		case mcfg.Hidden%l.Q != 0:
+			return fmt.Errorf("vit: hidden %d not divisible by %s's mesh side q=%d", mcfg.Hidden, l, l.Q)
+		case mcfg.Heads%l.Q != 0:
+			return fmt.Errorf("vit: %d heads not divisible by %s's mesh side q=%d", mcfg.Heads, l, l.Q)
+		}
+		return nil
 	}
 	// 1-D megatron: hidden width and heads split across every rank.
-	return mcfg.Hidden%l.Ranks == 0 && mcfg.Heads%l.Ranks == 0
+	switch {
+	case mcfg.Hidden%l.Ranks != 0:
+		return fmt.Errorf("vit: hidden %d not divisible by %s's %d ranks", mcfg.Hidden, l, l.Ranks)
+	case mcfg.Heads%l.Ranks != 0:
+		return fmt.Errorf("vit: %d heads not divisible by %s's %d ranks", mcfg.Heads, l, l.Ranks)
+	}
+	return nil
 }
 
 // TrainElastic is the full elastic loop on the simulated cluster: train at

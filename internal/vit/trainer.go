@@ -187,27 +187,41 @@ func evalDist(f parallel.Family, model *DistModel, ds *Dataset, batch, s int) fl
 	if n == 0 {
 		return 0
 	}
-	unit := f.RowShards()
 	correct := 0
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
 			end = n
 		}
-		real := end - start
-		padded := (real + unit - 1) / unit * unit
-		idx := make([]int, padded)
+		idx := make([]int, end-start)
 		for i := range idx {
-			if start+i < end {
-				idx[i] = start + i
-			} else {
-				idx[i] = start // padding; its predictions are discarded below
-			}
+			idx[i] = start + i
 		}
-		x, labels := ds.Batch(ds.Test, idx)
-		logits := model.Forward(DistributeBatch(f, x, s))
-		correct += nn.CorrectCount(logits, labels[:real])
+		logits := evalForward(f, model, ds, idx, s)
+		labels := make([]int, len(idx))
+		for i, j := range idx {
+			labels[i] = ds.Test[j].Label
+		}
+		correct += nn.CorrectCount(logits, labels)
 		f.EndStep() // eval step boundary: the logits row counts are consumed
 	}
 	return float64(correct) / float64(n)
+}
+
+// evalForward is the trainer's one eval forward: the test rows idx, padded
+// up to the family's row divisibility unit by repeating the first sample —
+// per-sample logits are independent, so padding rows cannot perturb real
+// rows. It returns the replicated logits; rows past len(idx) are padding
+// and must be discarded. The caller owns the step boundary (Family.EndStep)
+// once it is done with the logits.
+func evalForward(f parallel.Family, model *DistModel, ds *Dataset, idx []int, s int) *tensor.Matrix {
+	unit := f.RowShards()
+	padded := (len(idx) + unit - 1) / unit * unit
+	pidx := make([]int, padded)
+	copy(pidx, idx)
+	for i := len(idx); i < padded; i++ {
+		pidx[i] = idx[0] // padding; its predictions are discarded by the caller
+	}
+	x, _ := ds.Batch(ds.Test, pidx)
+	return model.Forward(DistributeBatch(f, x, s))
 }

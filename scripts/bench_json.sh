@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR8.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR9.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -24,10 +24,13 @@ go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 # reshard_cost_ratio — simulated (collect + restore) seconds over plain-step
 # seconds — prices a full elastic re-shard in training steps.
 # BenchmarkStraggler's straggler_* metrics (PR 8) come from simulated
-# clocks, so the 1x smoke row above is already exact. The awk below
+# clocks, so the 1x smoke row above is already exact. BenchmarkServeStep
+# (PR 9) rides along: 50 saturated serving batches through the continuous
+# batcher in one cluster run, reporting allocs/batch plus the simulated
+# serve_p50_s/serve_p99_s/serve_thru_rps of the trace. The awk below
 # keeps one row per benchmark with the last line winning, so this pass
 # overrides the smoke rows.
-go test -run '^$' -bench 'TesseractStep|FamilyStep|Reshard' -benchtime 50x -benchmem . >> "$tmp"
+go test -run '^$' -bench 'TesseractStep|FamilyStep|Reshard|ServeStep' -benchtime 50x -benchmem . >> "$tmp"
 
 # The packed-kernel GFLOPS rows (PR 6): one cold iteration says nothing
 # about arithmetic throughput, so re-run the NN/NT/TN kernel benches long
@@ -51,7 +54,7 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 2; i <= NF; i++) {
         unit = $(i)
-        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err|reshard_cost_ratio|straggler_[a-z0-9_]+)$/) {
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err|reshard_cost_ratio|straggler_[a-z0-9_]+|serve_[a-z0-9_]+)$/) {
             gsub(/[^A-Za-z0-9]/, "_", unit)
             extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
         }
