@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/dist"
@@ -24,6 +25,7 @@ import (
 	// Register the remaining families for BenchmarkFamilyStep.
 	_ "repro/internal/megatron"
 	_ "repro/internal/optimus"
+	_ "repro/internal/seqpar"
 )
 
 // BenchmarkTable1StrongScaling regenerates all twelve Table 1 rows.
@@ -290,6 +292,7 @@ func BenchmarkFamilyStep(b *testing.B) {
 		{Family: "tesseract", Q: 2, D: 2},
 		{Family: "optimus", Q: 2},
 		{Family: "megatron", Ranks: 4},
+		{Family: "seqpar", Ranks: 4},
 	} {
 		b.Run(l.Family, func(b *testing.B) {
 			sb, err := vit.NewStepBencher(l, ds, mcfg, tc, 3)
@@ -303,6 +306,49 @@ func BenchmarkFamilyStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSeqparMemory runs the same steady-state training step under
+// seqpar [4] and megatron [4] and reports seqpar_mem_ratio: the ratio of
+// the families' peak per-rank live workspace bytes. Sequence parallelism
+// exists to push this below 0.5 — same schedule bytes, half the resident
+// activations — and the CI trajectory tracks it per PR.
+func BenchmarkSeqparMemory(b *testing.B) {
+	dcfg := vit.DataConfig{Classes: 4, ImageSize: 8, Channels: 3, PatchSize: 4, Train: 8, Test: 4, Seed: 11}
+	ds := vit.NewDataset(dcfg)
+	mcfg := vit.ModelConfig{
+		PatchDim: dcfg.PatchDim(), SeqLen: dcfg.Patches(),
+		Hidden: 16, Heads: 4, Layers: 2, Classes: dcfg.Classes, Seed: 3,
+	}
+	tc := vit.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	peak := func(l parallel.Layout) int64 {
+		sb, err := vit.NewStepBencher(l, ds, mcfg, tc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sb.Steps(b.N); err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		var hw int64
+		if err := sb.Cluster().Run(func(w *dist.Worker) error {
+			s := w.Workspace().Stats().HighWaterBytes
+			mu.Lock()
+			if s > hw {
+				hw = s
+			}
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return hw
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := peak(parallel.Layout{Family: "seqpar", Ranks: 4})
+	meg := peak(parallel.Layout{Family: "megatron", Ranks: 4})
+	b.ReportMetric(float64(seq)/float64(meg), "seqpar_mem_ratio")
 }
 
 // BenchmarkSummaPipelined exercises the double-buffered SUMMA kernels with
@@ -421,20 +467,55 @@ func BenchmarkSoftmaxRows(b *testing.B) {
 	}
 }
 
+// BenchmarkAllReduce8 measures the steady-state in-place all-reduce: one
+// persistent cluster run, pooled payload buffers, b.N rounds inside. The
+// per-call cost is what every gradient sync in the repo pays.
 func BenchmarkAllReduce8(b *testing.B) {
 	c := dist.New(dist.Config{WorldSize: 8})
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		err := c.Run(func(w *dist.Worker) error {
-			m := tensor.New(64, 64)
-			m.Fill(float64(w.Rank()))
-			w.Cluster().WorldGroup().AllReduce(w, m)
-			return nil
-		})
-		if err != nil {
-			b.Fatal(err)
+	err := c.Run(func(w *dist.Worker) error {
+		ws := w.Workspace()
+		g := w.Cluster().WorldGroup()
+		m := ws.Get(64, 64)
+		m.Fill(float64(w.Rank()))
+		for i := 0; i < b.N; i++ {
+			g.AllReduceInto(w, m, m)
 		}
+		ws.Put(m)
+		ws.ReleaseAll()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
+	b.ReportMetric(float64(b.N)*64*64*8/b.Elapsed().Seconds()/1e9, "GB/s")
+}
+
+// BenchmarkReduceScatter8 measures the steady-state reduce-scatter — the
+// collective sequence parallelism leans on — under the same pooled
+// single-run regime as BenchmarkAllReduce8.
+func BenchmarkReduceScatter8(b *testing.B) {
+	c := dist.New(dist.Config{WorldSize: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := c.Run(func(w *dist.Worker) error {
+		ws := w.Workspace()
+		g := w.Cluster().WorldGroup()
+		m := ws.Get(64, 64)
+		m.Fill(float64(w.Rank()))
+		dst := ws.Get(8, 64)
+		for i := 0; i < b.N; i++ {
+			g.ReduceScatterInto(w, m, dst)
+		}
+		ws.Put(m, dst)
+		ws.ReleaseAll()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)*64*64*8/b.Elapsed().Seconds()/1e9, "GB/s")
 }
 
 func BenchmarkTesseractMatMulReal(b *testing.B) {

@@ -8,6 +8,7 @@
 //
 //	vit-train                         # Figure 7 (serial + two Tesseract meshes)
 //	vit-train -family megatron -ranks 4
+//	vit-train -family seqpar -ranks 4
 //	vit-train -family optimus -q 2
 //	vit-train -family tesseract -q 2 -d 2
 //	vit-train -plan 8                 # search layouts, train the best one
@@ -32,6 +33,7 @@ import (
 	"repro/internal/optimus"
 	"repro/internal/parallel"
 	"repro/internal/plan"
+	"repro/internal/seqpar"
 	"repro/internal/serve"
 	"repro/internal/tesseract"
 	"repro/internal/vit"
@@ -50,10 +52,10 @@ func main() {
 		lr      = flag.Float64("lr", 0.003, "Adam learning rate (paper: 0.003)")
 		wd      = flag.Float64("weight-decay", 0.05, "weight decay (paper: 0.3; lower fits the small synthetic task)")
 		seed    = flag.Uint64("seed", 2022, "random seed (fixed seeds, as in §4.3)")
-		family  = flag.String("family", "", "tensor-parallel family to train (tesseract|optimus|megatron; empty runs the Figure 7 trio)")
+		family  = flag.String("family", "", "tensor-parallel family to train (tesseract|optimus|megatron|seqpar; empty runs the Figure 7 trio)")
 		q       = flag.Int("q", 2, "mesh dimension for tesseract/optimus")
 		d       = flag.Int("d", 1, "tesseract depth")
-		ranks   = flag.Int("ranks", 4, "tensor-parallel size for megatron")
+		ranks   = flag.Int("ranks", 4, "tensor-parallel size for megatron/seqpar")
 		planFor = flag.Int("plan", 0, "rank budget: search layouts with plan.Search and train the best candidate (overrides -family)")
 		elastic = flag.Bool("elastic", false, "elastic demo: train, lose the highest rank mid-run, replan, re-shard onto the survivors, resume")
 		failAt  = flag.Int("fail-step", 0, "with -elastic: global step the rank dies at (default: halfway)")
@@ -144,7 +146,7 @@ func main() {
 		// needs whole sequences per rank, so pick the best candidate whose
 		// layout this model can actually train on.
 		w := plan.Workload{Batch: *batch, SeqLen: mcfg.SeqLen, Hidden: *hidden, Heads: *heads, Layers: *layers}
-		algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+		algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo(), seqpar.PlanAlgo()}
 		plans, err := plan.Search(w, plan.Topology{RankBudget: *planFor}, algos)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vit-train:", err)
@@ -187,15 +189,15 @@ func fatalf(format string, args ...any) {
 // through to parallel.Validate's error at the call site.
 func layoutFromFlags(family string, q, d, ranks int, set map[string]bool) (parallel.Layout, error) {
 	l := parallel.Layout{Family: family}
-	if family == "megatron" {
+	if family == "megatron" || family == "seqpar" {
 		if set["q"] || set["d"] {
-			return l, fmt.Errorf("-q/-d do not apply to the 1-D megatron family (use -ranks)")
+			return l, fmt.Errorf("-q/-d do not apply to the 1-D %s family (use -ranks)", family)
 		}
 		l.Ranks = ranks
 		return l, nil
 	}
 	if set["ranks"] {
-		return l, fmt.Errorf("-ranks applies only to -family megatron (use -q/-d)")
+		return l, fmt.Errorf("-ranks applies only to the 1-D families megatron/seqpar (use -q/-d)")
 	}
 	l.Q, l.D = q, d
 	return l, nil
@@ -273,7 +275,7 @@ func runElastic(from parallel.Layout, failAt int, ds *vit.Dataset, mcfg vit.Mode
 	// budget sits just below the whole model's single-rank footprint, the
 	// usual reason elasticity matters in the first place.
 	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
-	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo(), seqpar.PlanAlgo()}
 	topo := plan.Topology{MemoryBudget: megatron.PlanAlgo().Memory(w, plan.Grid{Ranks: 1}) - 1}
 	run, err := vit.TrainElastic(from, vit.ElasticConfig{
 		FailStep:   failAt,
@@ -327,7 +329,7 @@ func runChaos(from parallel.Layout, seed uint64, ds *vit.Dataset, mcfg vit.Model
 	// paper's real workloads are (same model as tables.StragglerStudy).
 	cost := dist.CostModel{FLOPS: 1e8, Alpha: 1e-7, BetaIntra: 1.0 / 250e9, BetaInter: 1.0 / 6.25e9}
 	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
-	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo(), seqpar.PlanAlgo()}
 	topo := plan.Topology{
 		Cost:         cost,
 		MemoryBudget: megatron.PlanAlgo().Memory(w, plan.Grid{Ranks: 1}) - 1,

@@ -285,6 +285,50 @@ func (g *Group) AllGatherInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
 	return dst
 }
 
+// ReduceScatterInto sums every member's equal full-size partial m and
+// scatters the sum by row blocks: member i's dst receives rows
+// [i·m.Rows/n, (i+1)·m.Rows/n) of the total. The partials combine in
+// ReduceInto's binomial-tree association rooted at the group's first member,
+// so the outcome is bit-identical to ReduceInto(first member) followed by a
+// row scatter — the property the seqpar family's memory saving rides on:
+// the activation living after the collective is 1/n the size, without
+// changing a single bit relative to the all-reduce schedule. m.Rows must
+// divide by the group size; every member's m is fully consumed before the
+// call returns. Time is charged as the first half of the bandwidth-optimal
+// ring all-reduce. Returns dst.
+func (g *Group) ReduceScatterInto(w *Worker, m, dst *tensor.Matrix) *tensor.Matrix {
+	idx := g.mustIndex(w, opReduceScatterInto)
+	checkReduceScatterInto(w, g, m, dst)
+	g.retire(g.runBlocking(w, opReduceScatterInto, -1, idx, m, dst))
+	return dst
+}
+
+// IReduceScatterInto is the nonblocking ReduceScatterInto — issue the
+// scatter-reduction the moment a partial is ready, keep computing, Wait
+// before touching dst. m and dst are borrowed until Wait (see Handle).
+func (g *Group) IReduceScatterInto(w *Worker, m, dst *tensor.Matrix) Handle {
+	idx := g.mustIndex(w, opReduceScatterInto)
+	checkReduceScatterInto(w, g, m, dst)
+	return g.issueAsync(w, opReduceScatterInto, -1, idx, m, dst)
+}
+
+func checkReduceScatterInto(w *Worker, g *Group, m, dst *tensor.Matrix) {
+	if m == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil to reduce-scatter-into", w.rank))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("dist: rank %d passed nil dst to reduce-scatter-into", w.rank))
+	}
+	n := len(g.ranks)
+	if m.Rows%n != 0 {
+		panic(fmt.Sprintf("dist: reduce-scatter-into payload rows %d not divisible by group size %d", m.Rows, n))
+	}
+	if dst.Rows*n != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("dist: reduce-scatter-into dst %dx%d wants %dx%d for %d-way scatter of %dx%d",
+			dst.Rows, dst.Cols, m.Rows/n, m.Cols, n, m.Rows, m.Cols))
+	}
+}
+
 // Barrier blocks until every member arrives, then advances all clocks to
 // the common post-barrier time. It moves no payload.
 func (g *Group) Barrier(w *Worker) {

@@ -142,6 +142,14 @@ func (m CostModel) AllGatherSeconds(n int, b int64, interNode bool) float64 {
 	return m.allGatherTime(n, b, m.linkBeta(interNode))
 }
 
+// ReduceScatterSeconds prices a ring reduce-scatter of b payload bytes among
+// n ranks: n−1 steps each moving b/n bytes — exactly the first half of the
+// bandwidth-optimal ring all-reduce, matching the charge the simulated Group
+// applies to ReduceScatterInto.
+func (m CostModel) ReduceScatterSeconds(n int, b int64, interNode bool) float64 {
+	return m.reduceScatterTime(n, b, m.linkBeta(interNode))
+}
+
 // GEMMSeconds prices the 2·m·n·k flops of an [mm×kk]·[kk×nn] multiply at
 // the model's sustained rate.
 func (m CostModel) GEMMSeconds(mm, nn, kk float64) float64 {
@@ -182,6 +190,16 @@ func (m CostModel) allGatherTime(n int, b int64, beta float64) float64 {
 		return 0
 	}
 	return (float64(n) - 1) * (m.Alpha + float64(b)*beta)
+}
+
+// reduceScatterTime prices a ring reduce-scatter of b payload bytes: n−1
+// steps each moving b/n bytes — half of allReduceTime's ring.
+func (m CostModel) reduceScatterTime(n int, b int64, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	nf := float64(n)
+	return (nf - 1) * (m.Alpha + float64(b)/nf*beta)
 }
 
 // barrierTime prices a tree barrier (latency only).

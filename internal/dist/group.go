@@ -48,12 +48,14 @@ const (
 	opAllReduceInto
 	opAllGather
 	opAllGatherInto
+	opReduceScatterInto
 	opBarrier
 )
 
 var opKindNames = [...]string{
 	"broadcast", "broadcast-into", "reduce", "reduce-into",
-	"allreduce", "allreduce-into", "allgather", "allgather-into", "barrier",
+	"allreduce", "allreduce-into", "allgather", "allgather-into",
+	"reduce-scatter-into", "barrier",
 }
 
 func (k opKind) String() string { return opKindNames[k] }
@@ -405,6 +407,12 @@ func (g *Group) finish(rank int, r *round) {
 		r.newClock = r.commBase + cost.allGatherTime(n, max, g.beta)
 		g.c.stats.record(rank, statAllGather, int64(n)*int64(n-1), int64(n-1)*sum)
 
+	case opReduceScatterInto:
+		g.scatterCombineInto(r)
+		bytes := matrixBytes(r.slots[0])
+		r.newClock = r.commBase + cost.reduceScatterTime(n, bytes, g.beta)
+		g.c.stats.record(rank, statReduceScatter, int64(n)*int64(n-1), int64(n-1)*bytes)
+
 	case opBarrier:
 		r.newClock = r.commBase + cost.barrierTime(n)
 		g.c.stats.record(rank, statBarrier, 0, 0)
@@ -470,8 +478,25 @@ func (g *Group) combineInto(r *round, dst *tensor.Matrix) {
 		vdata = append(vdata, r.slots[(v+root)%n].Data)
 	}
 	g.vdata = vdata
+	treeSumInto(dst.Data, vdata)
+	// Drop the data references now that the sum is done: an idle group must
+	// not pin its last reduction's matrices (mirrors retire's slot clearing).
+	for i := range g.vdata {
+		g.vdata[i] = nil
+	}
+	g.vdata = g.vdata[:0]
+}
+
+// treeSumInto writes dd[e] = Σ_v vdata[v][e] in the association of a
+// binomial reduction tree over the virtual order vdata: partial sums pair up
+// like a binary counter, every element accumulates with individually rounded
+// adds. Because the association is per-element, summing a pre-sliced row
+// window is bit-identical to summing the whole matrix and slicing the range
+// after — the property that makes reduce-scatter ≡ reduce + scatter down to
+// the bit. Callers pass windows of equal length len(dd).
+func treeSumInto(dd []float64, vdata [][]float64) {
+	n := len(vdata)
 	var stack [16]float64 // level l holds a partial of 2^l members; 16 levels cover any practical group
-	dd := dst.Data
 	for e := range dd {
 		cnt := 0
 		for v := 0; v < n; v++ {
@@ -496,8 +521,53 @@ func (g *Group) combineInto(r *round, dst *tensor.Matrix) {
 		}
 		dd[e] = t
 	}
-	// Drop the data references now that the sum is done: an idle group must
-	// not pin its last reduction's matrices (mirrors retire's slot clearing).
+}
+
+// scatterCombineInto computes the reduce-scatter outcome: member i's dst
+// receives row block i of the binomial-tree sum (rooted at group index 0,
+// exactly ReduceInto's association with the first member as root) of the
+// equal full-size payloads. No full-size intermediate exists — each block is
+// tree-summed straight into its owner's destination, which is bit-identical
+// to reducing the whole matrix and scattering because the tree association
+// is per-element.
+func (g *Group) scatterCombineInto(r *round) {
+	n := len(g.ranks)
+	ref := r.slots[0]
+	br := ref.Rows / n
+	for i, s := range r.slots {
+		if s == nil {
+			panic(fmt.Sprintf("dist: rank %d passed nil to %s", g.ranks[i], r.kind))
+		}
+		if !s.SameShape(ref) || s.Phantom() != ref.Phantom() {
+			panic(fmt.Sprintf("dist: %s on group %v: rank %d contributed %dx%d (phantom=%v), member 0 holds %dx%d (phantom=%v)",
+				r.kind, g.ranks, g.ranks[i], s.Rows, s.Cols, s.Phantom(), ref.Rows, ref.Cols, ref.Phantom()))
+		}
+		d := r.dsts[i]
+		if d.Rows != br || d.Cols != ref.Cols || d.Phantom() != ref.Phantom() {
+			panic(fmt.Sprintf("dist: %s on group %v: rank %d dst %dx%d (phantom=%v) wants %dx%d (phantom=%v)",
+				r.kind, g.ranks, g.ranks[i], d.Rows, d.Cols, d.Phantom(), br, ref.Cols, ref.Phantom()))
+		}
+	}
+	if ref.Phantom() {
+		return
+	}
+	if n == 1 {
+		tensor.CopyInto(r.dsts[0], ref)
+		return
+	}
+	vdata := g.vdata[:0]
+	for v := 0; v < n; v++ {
+		vdata = append(vdata, nil)
+	}
+	g.vdata = vdata
+	blockLen := br * ref.Cols
+	for i := 0; i < n; i++ {
+		off := i * blockLen
+		for v := 0; v < n; v++ {
+			vdata[v] = r.slots[v].Data[off : off+blockLen]
+		}
+		treeSumInto(r.dsts[i].Data, vdata)
+	}
 	for i := range g.vdata {
 		g.vdata[i] = nil
 	}

@@ -7,7 +7,7 @@ type OpStats struct {
 	Calls int64
 	// Messages counts pairwise block transfers using the convention of
 	// internal/tables: broadcast/reduce over n ranks = n−1, all-reduce =
-	// 2(n−1), all-gather = n(n−1), send = 1.
+	// 2(n−1), all-gather/reduce-scatter = n(n−1), send = 1.
 	Messages int64
 	// Bytes is the total payload moved by those messages.
 	Bytes int64
@@ -19,7 +19,8 @@ type Stats struct {
 	Messages int64
 	Bytes    int64
 	// PerOp breaks the totals down by operation name: "broadcast",
-	// "reduce", "allreduce", "allgather", "barrier", "send".
+	// "reduce", "allreduce", "allgather", "reducescatter", "barrier",
+	// "send".
 	PerOp map[string]OpStats
 }
 
@@ -33,12 +34,13 @@ const (
 	statReduce
 	statAllReduce
 	statAllGather
+	statReduceScatter
 	statBarrier
 	statSend
 	nStatOps
 )
 
-var statNames = [nStatOps]string{"broadcast", "reduce", "allreduce", "allgather", "barrier", "send"}
+var statNames = [nStatOps]string{"broadcast", "reduce", "allreduce", "allgather", "reducescatter", "barrier", "send"}
 
 // statsBook is the mutable collector behind Cluster.Stats. It is sharded
 // per rank: every record happens on a goroutine acting for exactly one

@@ -61,9 +61,16 @@ func (l Layout) Normalize() (Layout, error) {
 }
 
 // RowShards returns how many ways the layout partitions activation rows:
-// d·q on a mesh, 1 for 1-D families.
+// d·q on a mesh, a family-registered count for 1-D families (sequence
+// parallelism shards rows p ways despite its flat arrangement), 1 otherwise.
 func (l Layout) RowShards() int {
 	if l.Q == 0 {
+		registryMu.RLock()
+		fn := rowShards[l.Family]
+		registryMu.RUnlock()
+		if fn != nil {
+			return fn(l)
+		}
 		return 1
 	}
 	d := l.D
@@ -97,6 +104,7 @@ var (
 	registryMu sync.RWMutex
 	registry   = map[string]Constructor{}
 	checks     = map[string]func(Layout) error{}
+	rowShards  = map[string]func(Layout) int{}
 )
 
 // Register records a family constructor under its name. The family
@@ -129,6 +137,23 @@ func RegisterCheck(name string, chk func(Layout) error) {
 		panic(fmt.Sprintf("parallel: check for family %q registered twice", name))
 	}
 	checks[name] = chk
+}
+
+// RegisterRowShards records how a 1-D family partitions activation rows,
+// overriding Layout.RowShards' default of 1. Sequence parallelism registers
+// l.Ranks: every rank owns Rows/p activation rows even though the
+// arrangement is flat. Mesh families never consult this — their row split
+// is q·d by construction.
+func RegisterRowShards(name string, fn func(Layout) int) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || fn == nil {
+		panic("parallel: RegisterRowShards needs a name and a function")
+	}
+	if _, dup := rowShards[name]; dup {
+		panic(fmt.Sprintf("parallel: row shards for family %q registered twice", name))
+	}
+	rowShards[name] = fn
 }
 
 // Validate normalizes the layout and applies its family's registered

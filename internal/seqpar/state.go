@@ -1,0 +1,63 @@
+package seqpar
+
+import "repro/internal/parallel"
+
+// This file maps the sequence-parallel shards onto the canonical serial
+// parameters for checkpointing (parallel.Stater). The weight sharding is
+// identical to Megatron-LM's, so the rectangles are too: the fused QKV
+// shard maps through three rectangles onto the unpermuted [Wq | Wk | Wv]
+// concatenation, column/row shards are one rectangle each, and replicated
+// parameters are full slots written by group rank 0.
+
+// State exposes the replicated patch-embedding parameters as full slots;
+// the group's base rank is the checkpoint primary.
+func (l *shardLinear) State() []parallel.State {
+	primary := l.p.Rank == 0
+	out := []parallel.State{parallel.FullState(l.W, l.In, l.Out, primary)}
+	if l.B != nil {
+		out = append(out, parallel.FullState(l.B, 1, l.Out, primary))
+	}
+	return out
+}
+
+// State maps the fused, column-permuted QKV shard through three rectangles
+// onto the canonical [h, 3h] concatenation (and its bias onto [1, 3h]):
+// rank r's fused sub-block t lands at serial column t·h + r·h/p. The
+// projection is a row shard; its bias is replicated, written by rank 0.
+func (a *Attention) State(p *Proc) []parallel.State {
+	h := a.H
+	bc := h / p.P
+	w := parallel.State{Param: a.QKV, Rows: h, Cols: 3 * h, Primary: true}
+	b := parallel.State{Param: a.QKVb, Rows: 1, Cols: 3 * h, Primary: true}
+	for t := 0; t < 3; t++ {
+		w.Blocks = append(w.Blocks, parallel.StateBlock{
+			LocalCol:  t * bc,
+			GlobalCol: t*h + p.Rank*bc,
+			Rows:      h, Cols: bc,
+		})
+		b.Blocks = append(b.Blocks, parallel.StateBlock{
+			LocalCol:  t * bc,
+			GlobalCol: t*h + p.Rank*bc,
+			Rows:      1, Cols: bc,
+		})
+	}
+	return []parallel.State{
+		w, b,
+		parallel.BlockState(a.Proj, h, h, p.Rank*bc, 0, true),
+		parallel.FullState(a.Projb, 1, h, p.Rank == 0),
+	}
+}
+
+// State maps the MLP's column shard (fc1) and row shard (fc2) onto the
+// canonical [h, 4h] and [4h, h] weights; fc2's replicated bias is written
+// by rank 0.
+func (l *MLP) State(p *Proc) []parallel.State {
+	h := l.H
+	hp4 := 4 * h / p.P
+	return []parallel.State{
+		parallel.BlockState(l.W1, h, 4*h, 0, p.Rank*hp4, true),
+		parallel.BlockState(l.B1, 1, 4*h, 0, p.Rank*hp4, true),
+		parallel.BlockState(l.W2, 4*h, h, p.Rank*hp4, 0, true),
+		parallel.FullState(l.B2, 1, h, p.Rank == 0),
+	}
+}

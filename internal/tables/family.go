@@ -30,7 +30,7 @@ type FamilyParity struct {
 // family layout through the single parallel.Family interface — the same
 // generic runner path the tables use — and reports each scheme's deviation
 // from the serial reference plus its simulated cost. It is the §4
-// interchangeability claim as a regenerable artifact: same math, three
+// interchangeability claim as a regenerable artifact: same math, four
 // layouts, one interface.
 func FamilyParityStudy(layouts []parallel.Layout) ([]FamilyParity, error) {
 	const (
@@ -81,13 +81,14 @@ func FamilyParityStudy(layouts []parallel.Layout) ([]FamilyParity, error) {
 	return out, nil
 }
 
-// DefaultFamilyLayouts are the three schemes on the small comparable
+// DefaultFamilyLayouts are the four schemes on the small comparable
 // arrangements the parity study runs by default.
 func DefaultFamilyLayouts() []parallel.Layout {
 	return []parallel.Layout{
 		{Family: "megatron", Ranks: 4},
 		{Family: "optimus", Q: 2},
 		{Family: "tesseract", Q: 2, D: 2},
+		{Family: "seqpar", Ranks: 4},
 	}
 }
 

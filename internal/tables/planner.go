@@ -8,16 +8,19 @@ import (
 	"repro/internal/megatron"
 	"repro/internal/optimus"
 	"repro/internal/plan"
+	"repro/internal/seqpar"
 	"repro/internal/tesseract"
 )
 
-// DefaultAlgos bundles the three built-in algorithm-family descriptors the
-// planner searches over — the same three schemes Tables 1 and 2 compare.
+// DefaultAlgos bundles the four built-in algorithm-family descriptors the
+// planner searches over — the three schemes Tables 1 and 2 compare plus
+// sequence parallelism, which wins only under tight memory budgets.
 func DefaultAlgos() []plan.Algo {
 	return []plan.Algo{
 		tesseract.PlanAlgo(),
 		optimus.PlanAlgo(),
 		megatron.PlanAlgo(),
+		seqpar.PlanAlgo(),
 	}
 }
 
@@ -28,6 +31,8 @@ func rowForPlan(p plan.Plan, w plan.Workload) (Row, error) {
 	switch p.Family {
 	case "megatron":
 		row.Scheme = Megatron
+	case "seqpar":
+		row.Scheme = SeqPar
 	case "optimus":
 		row.Scheme = Optimus
 		row.Q = p.Grid.Q

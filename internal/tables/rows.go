@@ -13,11 +13,13 @@ import "fmt"
 // Scheme names a tensor-parallel method under test.
 type Scheme string
 
-// The three schemes of Tables 1 and 2.
+// The three schemes of Tables 1 and 2, plus the sequence-parallel
+// follow-up family the studies compare them against.
 const (
 	Megatron  Scheme = "Megatron-LM"
 	Optimus   Scheme = "Optimus"
 	Tesseract Scheme = "Tesseract"
+	SeqPar    Scheme = "SeqPar"
 )
 
 // Row is one experiment configuration (one table row).
@@ -38,7 +40,7 @@ type Row struct {
 // Shape renders the GPU arrangement the way the paper prints it.
 func (r Row) Shape() string {
 	switch r.Scheme {
-	case Megatron:
+	case Megatron, SeqPar:
 		return fmt.Sprintf("[%d]", r.GPUs)
 	case Optimus:
 		return fmt.Sprintf("[%d,%d]", r.Q, r.Q)

@@ -119,6 +119,8 @@ func LayoutForRow(row Row) (parallel.Layout, error) {
 	switch row.Scheme {
 	case Megatron:
 		l = parallel.Layout{Family: "megatron", Ranks: row.GPUs}
+	case SeqPar:
+		l = parallel.Layout{Family: "seqpar", Ranks: row.GPUs}
 	case Optimus:
 		l = parallel.Layout{Family: "optimus", Q: row.Q}
 	case Tesseract:

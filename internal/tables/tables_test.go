@@ -353,8 +353,8 @@ func TestFamilyParityStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 3 {
-		t.Fatalf("expected 3 rows, got %d", len(points))
+	if len(points) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(points))
 	}
 	for _, p := range points {
 		if p.MaxDiffY > 1e-9 || p.MaxDiffDx > 1e-9 {

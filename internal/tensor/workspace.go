@@ -123,6 +123,12 @@ type WorkspaceStats struct {
 	// HighWater is the maximum Live ever observed — the arena footprint of
 	// one step. Flat HighWater across steps means no leak.
 	HighWater int
+	// LiveBytes is the storage behind the currently checked-out buffers
+	// (8 bytes per element; phantoms carry no storage and count zero).
+	LiveBytes int64
+	// HighWaterBytes is the maximum LiveBytes ever observed — the peak
+	// activation footprint memory studies compare across families.
+	HighWaterBytes int64
 }
 
 // NewWorkspace returns an empty pool with pooling enabled.
@@ -208,8 +214,21 @@ func (ws *Workspace) get(k wsKey) *Matrix {
 		if ws.stats.Live > ws.stats.HighWater {
 			ws.stats.HighWater = ws.stats.Live
 		}
+		ws.stats.LiveBytes += storageBytes(m)
+		if ws.stats.LiveBytes > ws.stats.HighWaterBytes {
+			ws.stats.HighWaterBytes = ws.stats.LiveBytes
+		}
 	}
 	return m
+}
+
+// storageBytes is the heap storage behind one pooled buffer: 8 bytes per
+// element for real matrices, zero for phantoms (shape-only headers).
+func storageBytes(m *Matrix) int64 {
+	if m.Phantom() {
+		return 0
+	}
+	return 8 * int64(m.Rows) * int64(m.Cols)
 }
 
 // Put returns checked-out buffers to their free lists. It panics on a matrix
@@ -250,6 +269,7 @@ func (ws *Workspace) remove(m *Matrix) {
 	ws.out = ws.out[:last]
 	m.ws = nil
 	ws.stats.Live--
+	ws.stats.LiveBytes -= storageBytes(m)
 }
 
 // ReleaseAll returns every checked-out buffer to the free lists — the step
@@ -270,6 +290,7 @@ func (ws *Workspace) ReleaseAll() {
 	}
 	ws.out = ws.out[:0]
 	ws.stats.Live = 0
+	ws.stats.LiveBytes = 0
 }
 
 // Borrow marks a checked-out buffer as lent to an in-flight nonblocking

@@ -75,6 +75,10 @@ func NewStepBencher(l parallel.Layout, ds *Dataset, mcfg ModelConfig, tc TrainCo
 	return sb, nil
 }
 
+// Cluster exposes the persistent cluster for clock, stats and per-rank
+// workspace inspection between step batches.
+func (sb *StepBencher) Cluster() *dist.Cluster { return sb.c }
+
 // Steps runs n full training steps (forward, loss, backward, optimiser
 // update, workspace release) on every rank within a single cluster run.
 func (sb *StepBencher) Steps(n int) error {

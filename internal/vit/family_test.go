@@ -2,6 +2,7 @@ package vit
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/dist"
@@ -13,15 +14,17 @@ import (
 
 	"repro/internal/megatron"
 	"repro/internal/optimus"
+	"repro/internal/seqpar"
 	"repro/internal/tesseract"
 )
 
-// familyLayouts are the three schemes on comparable small arrangements.
+// familyLayouts are the four schemes on comparable small arrangements.
 func familyLayouts() []parallel.Layout {
 	return []parallel.Layout{
 		{Family: "tesseract", Q: 2, D: 2},
 		{Family: "optimus", Q: 2},
 		{Family: "megatron", Ranks: 4},
+		{Family: "seqpar", Ranks: 4},
 	}
 }
 
@@ -64,7 +67,7 @@ func trainLayoutSteps(t *testing.T, l parallel.Layout, steps int) (logits *tenso
 	return logits, loss
 }
 
-// TestCrossFamilyEquivalence trains two ViT steps under all three families
+// TestCrossFamilyEquivalence trains two ViT steps under all four families
 // on the same seed and data and requires each to agree with the serial
 // reference logits within tolerance — the paper's interchangeability
 // claim, end to end through one interface.
@@ -134,7 +137,7 @@ func TestSearchInstantiateTrain(t *testing.T) {
 	wantLoss, _ := nn.CrossEntropy(serial.Forward(x), labels)
 
 	w := plan.Workload{Batch: tc.BatchSize, SeqLen: mcfg.SeqLen, Hidden: mcfg.Hidden, Heads: mcfg.Heads, Layers: mcfg.Layers}
-	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo()}
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo(), seqpar.PlanAlgo()}
 	plans, err := plan.Search(w, plan.Topology{RankBudget: 8}, algos)
 	if err != nil {
 		t.Fatal(err)
@@ -147,8 +150,8 @@ func TestSearchInstantiateTrain(t *testing.T) {
 			best[p.Family] = p
 		}
 	}
-	if len(best) != 3 {
-		t.Fatalf("search ranked %d families, want 3 (%v)", len(best), plans)
+	if len(best) != 4 {
+		t.Fatalf("search ranked %d families, want 4 (%v)", len(best), plans)
 	}
 
 	for fam, p := range best {
@@ -183,5 +186,88 @@ func TestSearchInstantiateTrain(t *testing.T) {
 				t.Fatalf("plan %s rank %d: loss %g vs serial %g", p, r, loss, wantLoss)
 			}
 		}
+	}
+}
+
+// peakWorkspaceBytes trains two steady-state steps under a layout and
+// returns the largest per-rank workspace high-water mark — the peak live
+// activation/scratch bytes any rank held.
+func peakWorkspaceBytes(t *testing.T, l parallel.Layout) int64 {
+	t.Helper()
+	ds, mcfg := tinyData()
+	tc := TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.003, WeightDecay: 0.05, Seed: 5}
+	sb, err := NewStepBencher(l, ds, mcfg, tc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Steps(2); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var peak int64
+	err = sb.Cluster().Run(func(w *dist.Worker) error {
+		hw := w.Workspace().Stats().HighWaterBytes
+		mu.Lock()
+		if hw > peak {
+			peak = hw
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return peak
+}
+
+// TestSeqparMemoryGate pins the family's reason to exist: at p = 4 a
+// sequence-parallel rank's peak live workspace bytes across a training
+// step must be at most half of a Megatron rank's, because the residual
+// stream, layer norms and saved activations live on 1/p of the rows while
+// gathered full-row buffers stay transient.
+func TestSeqparMemoryGate(t *testing.T) {
+	seq := peakWorkspaceBytes(t, parallel.Layout{Family: "seqpar", Ranks: 4})
+	meg := peakWorkspaceBytes(t, parallel.Layout{Family: "megatron", Ranks: 4})
+	if seq <= 0 || meg <= 0 {
+		t.Fatalf("expected positive high-water marks, got seqpar=%d megatron=%d", seq, meg)
+	}
+	if ratio := float64(seq) / float64(meg); ratio > 0.5 {
+		t.Fatalf("seqpar peak workspace %d B is %.3f of megatron's %d B, want <= 0.5", seq, ratio, meg)
+	}
+}
+
+// TestSearchMemoryBudgetPrefersSeqpar pins the planner-level trade: on a
+// paper-scale layer with the per-rank memory budget set to exactly what a
+// sequence-parallel rank needs, every activation-replicating family is
+// infeasible and the search must return seqpar plans alone.
+func TestSearchMemoryBudgetPrefersSeqpar(t *testing.T) {
+	w := plan.Workload{Batch: 16, SeqLen: 512, Hidden: 1024, Heads: 16, Layers: 2}
+	sp := seqpar.PlanAlgo()
+	budget := sp.Memory(w, plan.Grid{Ranks: 4})
+	algos := []plan.Algo{tesseract.PlanAlgo(), optimus.PlanAlgo(), megatron.PlanAlgo(), sp}
+	plans, err := plan.Search(w, plan.Topology{RankBudget: 4, ExactRanks: true, MemoryBudget: budget}, algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no feasible plans under the seqpar memory budget")
+	}
+	for _, p := range plans {
+		if p.Family != "seqpar" {
+			t.Fatalf("family %s fit the seqpar budget %d: %v", p.Family, budget, p)
+		}
+	}
+	if plans[0].Family != "seqpar" || plans[0].Grid.Ranks != 4 {
+		t.Fatalf("top plan %v, want seqpar [4]", plans[0])
+	}
+
+	// Sanity: the same search without the budget keeps all four families,
+	// and seqpar is never the fastest — its edge is memory, not time.
+	unconstrained, err := plan.Search(w, plan.Topology{RankBudget: 4, ExactRanks: true}, algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained[0].Family == "seqpar" {
+		t.Fatalf("seqpar won on time without a memory budget: %v", unconstrained[0])
 	}
 }

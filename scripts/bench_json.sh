@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Runs the repository benchmarks once and dumps the metrics to a JSON file
-# (default BENCH_PR9.json) so CI can archive the perf trajectory per PR.
+# (default BENCH_PR10.json) so CI can archive the perf trajectory per PR.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -30,7 +30,12 @@ go test -run '^$' -bench . -benchtime 1x -benchmem . ./internal/tensor/ > "$tmp"
 # serve_p50_s/serve_p99_s/serve_thru_rps of the trace. The awk below
 # keeps one row per benchmark with the last line winning, so this pass
 # overrides the smoke rows.
-go test -run '^$' -bench 'TesseractStep|FamilyStep|Reshard|ServeStep' -benchtime 50x -benchmem . >> "$tmp"
+# PR 10 rows ride the same steady-state pass: BenchmarkFamilyStep/seqpar
+# (allocs/step for the fourth family), BenchmarkSeqparMemory
+# (seqpar_mem_ratio — peak per-rank live workspace bytes, seqpar over
+# megatron), and the pooled AllReduce8/ReduceScatter8 collectives with
+# their GB/s throughput.
+go test -run '^$' -bench 'TesseractStep|FamilyStep|Reshard|ServeStep|SeqparMemory|AllReduce8|ReduceScatter8' -benchtime 50x -benchmem . >> "$tmp"
 
 # The packed-kernel GFLOPS rows (PR 6): one cold iteration says nothing
 # about arithmetic throughput, so re-run the NN/NT/TN kernel benches long
@@ -54,7 +59,7 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 2; i <= NF; i++) {
         unit = $(i)
-        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err|reshard_cost_ratio|straggler_[a-z0-9_]+|serve_[a-z0-9_]+)$/) {
+        if (unit ~ /^(MB\/s|GFLOPS|sim-fwd-s|sim-bwd-s|final-loss|cannon-vs-tesseract|tess-221-elems|d4-fwd-s|overlap-frac|planner-top3-err|reshard_cost_ratio|straggler_[a-z0-9_]+|serve_[a-z0-9_]+|seqpar_mem_ratio|GB\/s)$/) {
             gsub(/[^A-Za-z0-9]/, "_", unit)
             extra = extra sprintf(", \"%s\": %s", unit, $(i - 1))
         }
